@@ -1,0 +1,67 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   figures                 # run everything, write out/ bundle
+//!   figures fig9 fig11      # run selected experiments, print to stdout
+//!   figures --quick         # shrunken sweeps (CI)
+//!   figures --list          # list experiment ids
+//!   figures --checks        # run the headline shape checks
+
+use pm_core::experiments::{all_experiments, find, headline_checks};
+use pm_core::report::{render_terminal, write_bundle};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for e in all_experiments() {
+            println!("{:14} {}", e.id, e.title);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--checks") {
+        let mut failed = 0;
+        for (name, ok, detail) in headline_checks() {
+            println!("[{}] {name}\n       {detail}", if ok { "PASS" } else { "FAIL" });
+            if !ok {
+                failed += 1;
+            }
+        }
+        std::process::exit(if failed == 0 { 0 } else { 1 });
+    }
+
+    if ids.is_empty() {
+        let dir = Path::new("out");
+        println!("running all experiments (quick={quick}); writing {}", dir.display());
+        match write_bundle(dir, quick) {
+            Ok(written) => {
+                for id in written {
+                    println!("  wrote {id}.csv / {id}.md");
+                }
+                println!("bundle complete: {}", dir.join("SUMMARY.md").display());
+            }
+            Err(e) => {
+                eprintln!("failed to write bundle: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    for id in ids {
+        match find(id) {
+            Some(exp) => {
+                eprintln!("== {} ==", exp.title);
+                let artifact = (exp.run)(quick);
+                println!("{}", render_terminal(&artifact));
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; try --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

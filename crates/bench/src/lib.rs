@@ -1,0 +1,9 @@
+//! Benchmark harness for the PowerMANNA reproduction.
+//!
+//! This crate hosts two things:
+//!
+//! * the `figures` binary — regenerates every table and figure of the
+//!   paper (run `cargo run --release -p pm-bench --bin figures` for the
+//!   full bundle, or pass experiment ids like `fig9 table1`);
+//! * Criterion benches (`cargo bench`) that time the simulator's hot
+//!   paths and print the per-experiment headline numbers.

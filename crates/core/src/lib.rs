@@ -1,0 +1,37 @@
+//! Machine assembly and the experiment harness for the PowerMANNA
+//! reproduction.
+//!
+//! This crate glues the substrates together and regenerates every table
+//! and figure of the paper's evaluation (§5):
+//!
+//! * [`systems`] — the three test systems of Table 1 (PowerMANNA,
+//!   SUN Ultra-I, the Pentium II cluster node at two clocks).
+//! * [`hintrun`] — runs the HINT workload through a system's timing
+//!   model and produces the QUIPS-over-time curves of Figure 6.
+//! * [`matmultrun`] — runs MatMult with row sampling and produces the
+//!   MFLOPS curves of Figure 7 and the speedups of Figure 8.
+//! * [`experiments`] — one runner per paper artefact (Table 1,
+//!   Figures 6–12) plus the ablations the prose motivates (4-CPU node
+//!   scaling, route setup vs hop count, NI FIFO depth, dual links).
+//! * [`report`] — renders artefacts to CSV/markdown/ASCII and writes the
+//!   experiment bundle to a directory.
+//!
+//! # Examples
+//!
+//! ```
+//! use pm_core::systems;
+//!
+//! let pm = systems::powermanna();
+//! assert_eq!(pm.node.cpu.clock.mhz(), 180.0);
+//! let t1 = systems::table1();
+//! assert!(t1.to_markdown().contains("PowerMANNA"));
+//! ```
+
+pub mod experiments;
+pub mod hintrun;
+pub mod matmultrun;
+pub mod report;
+pub mod systems;
+
+pub use experiments::{all_experiments, Artifact, Experiment};
+pub use systems::System;

@@ -1,0 +1,177 @@
+//! The test systems of Table 1.
+
+use pm_comm::CommConfig;
+use pm_node::node::NodeConfig;
+use pm_sim::stats::Table;
+
+/// One machine under test: a node plus (where applicable) its
+/// communication stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct System {
+    /// Display name used in figure legends.
+    pub name: &'static str,
+    /// The node hardware.
+    pub node: NodeConfig,
+    /// The communication stack, for machines that take part in the
+    /// network benchmarks (`None` for the SUN, which the paper only uses
+    /// in node benchmarks).
+    pub comm: Option<CommConfig>,
+}
+
+/// The PowerMANNA system: dual MPC620/180 node, two link interfaces,
+/// user-level PIO messaging.
+pub fn powermanna() -> System {
+    System {
+        name: "PowerMANNA",
+        node: NodeConfig::powermanna(),
+        comm: Some(CommConfig::powermanna()),
+    }
+}
+
+/// The SUN Ultra-I two-way node (node benchmarks only).
+pub fn sun_ultra() -> System {
+    System {
+        name: "SUN",
+        node: NodeConfig::sun_ultra(),
+        comm: None,
+    }
+}
+
+/// The PC cluster node clock-matched to PowerMANNA: 180 MHz core,
+/// 60 MHz board.
+pub fn pentium_180() -> System {
+    System {
+        name: "PC/180",
+        node: NodeConfig::pentium(180.0, 60.0),
+        comm: None,
+    }
+}
+
+/// The PC cluster node at its original 266 MHz core, 66 MHz board.
+pub fn pentium_266() -> System {
+    System {
+        name: "PC/266",
+        node: NodeConfig::pentium(266.0, 66.0),
+        comm: None,
+    }
+}
+
+/// All four node systems, in the paper's comparison order.
+pub fn all_nodes() -> Vec<System> {
+    vec![powermanna(), sun_ultra(), pentium_180(), pentium_266()]
+}
+
+/// Regenerates Table 1: configuration of the test systems.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1 — Configuration of test systems",
+        vec![
+            "System Type".into(),
+            "SUN".into(),
+            "PowerMANNA".into(),
+            "PC".into(),
+        ],
+    );
+    let sun = sun_ultra().node;
+    let pm = powermanna().node;
+    let pc = pentium_266().node;
+    let row = |label: &str, a: String, b: String, c: String| vec![label.to_string(), a, b, c];
+    t.add_row(row(
+        "Processor Type",
+        "UltraSPARC-I".into(),
+        "PPC620".into(),
+        "PENTIUM II".into(),
+    ));
+    t.add_row(row(
+        "Processor Clock",
+        format!("{:.0} MHz", sun.cpu.clock.mhz()),
+        format!("{:.0} MHz", pm.cpu.clock.mhz()),
+        "180/266 MHz".into(),
+    ));
+    t.add_row(row(
+        "Bus Clock",
+        "84 MHz".into(),
+        "60 MHz".into(),
+        "60/66 MHz".into(),
+    ));
+    t.add_row(row("Processors", "2".into(), "2".into(), "2".into()));
+    t.add_row(row(
+        "Primary Cache",
+        fmt_kb(sun.mem.l1.size_bytes()),
+        fmt_kb(pm.mem.l1.size_bytes()),
+        fmt_kb(pc.mem.l1.size_bytes()),
+    ));
+    t.add_row(row(
+        "Secondary Cache",
+        fmt_kb(sun.mem.l2.size_bytes()),
+        fmt_kb(pm.mem.l2.size_bytes()),
+        fmt_kb(pc.mem.l2.size_bytes()),
+    ));
+    t.add_row(row(
+        "Cache line",
+        format!("{} byte", sun.mem.l1.line_bytes()),
+        format!("{} byte", pm.mem.l1.line_bytes()),
+        format!("{} byte", pc.mem.l1.line_bytes()),
+    ));
+    t.add_row(row(
+        "Node Memory",
+        "576 Mbyte".into(),
+        "512 Mbyte".into(),
+        "128 Mbyte".into(),
+    ));
+    t.add_row(row(
+        "Operating System",
+        "Solaris 2.5".into(),
+        "Linux".into(),
+        "Linux".into(),
+    ));
+    t
+}
+
+fn fmt_kb(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{} Mbyte", bytes / (1024 * 1024))
+    } else {
+        format!("{} Kbyte", bytes / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_systems_with_distinct_names() {
+        let names: Vec<&str> = all_nodes().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["PowerMANNA", "SUN", "PC/180", "PC/266"]);
+    }
+
+    #[test]
+    fn only_powermanna_has_comm_stack() {
+        assert!(powermanna().comm.is_some());
+        assert!(sun_ultra().comm.is_none());
+    }
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let md = table1().to_markdown();
+        for needle in [
+            "UltraSPARC-I",
+            "PPC620",
+            "PENTIUM II",
+            "180 MHz",
+            "32 Kbyte",
+            "2 Mbyte",
+            "64 byte",
+            "Solaris 2.5",
+        ] {
+            assert!(md.contains(needle), "Table 1 missing {needle}:\n{md}");
+        }
+    }
+
+    #[test]
+    fn clock_matched_pentium_uses_60mhz_bus() {
+        let pc = pentium_180();
+        assert_eq!(pc.node.cpu.clock.mhz(), 180.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The communication-stack cost model.
+
+use pm_node::ni::NiConfig;
+use pm_sim::time::Duration;
+
+/// Costs of the user-level messaging path on a PowerMANNA node.
+///
+/// The hardware parts (PIO word cost, FIFO sizes, link rate) live in
+/// [`NiConfig`]; this adds the software costs of the optimised user-level
+/// MPI path §4 describes, calibrated so the 8-byte one-way latency lands
+/// at the paper's 2.75 µs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommConfig {
+    /// Link-interface geometry and timing.
+    pub ni: NiConfig,
+    /// Crossbar through-routing per hop (0.2 µs) paid when a message
+    /// opens its connection.
+    pub route_setup: Duration,
+    /// Crossbars on the path (1 within a cluster).
+    pub hops: u32,
+    /// Header bytes carried ahead of the payload (route bytes, length,
+    /// tag).
+    pub header_bytes: u32,
+    /// Trailer bytes (CRC).
+    pub trailer_bytes: u32,
+    /// User-level software cost on the sending CPU per message (argument
+    /// checks, header build, connection bookkeeping).
+    pub sw_send: Duration,
+    /// User-level software cost on the receiving CPU per message (header
+    /// parse, matching, completion).
+    pub sw_recv: Duration,
+    /// Cache lines the bidirectional driver sends before it must turn
+    /// around and test the receive FIFO (§5.2: "at most 4 cache lines").
+    pub alternation_lines: u32,
+    /// Software cost of one direction switch in the bidirectional driver
+    /// (status reads across the bus, state save/restore).
+    pub switch_cost: Duration,
+    /// Cache-line size used for PIO chunking (64 bytes on the MPC620).
+    pub line_bytes: u32,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        Self::powermanna()
+    }
+}
+
+impl CommConfig {
+    /// The PowerMANNA user-level path through one crossbar.
+    pub fn powermanna() -> Self {
+        CommConfig {
+            ni: NiConfig::powermanna(),
+            route_setup: Duration::from_ns(200),
+            hops: 1,
+            header_bytes: 8,
+            trailer_bytes: 8,
+            sw_send: Duration::from_ns(1100),
+            sw_recv: Duration::from_ns(900),
+            alternation_lines: 4,
+            switch_cost: Duration::from_ns(2000),
+            line_bytes: 64,
+        }
+    }
+
+    /// The same stack with `factor`-times deeper NI FIFOs (ablation X3).
+    /// The driver then sends `factor * 4` lines per turn.
+    pub fn with_fifo_factor(mut self, factor: u32) -> Self {
+        self.ni = self.ni.with_fifo_factor(factor);
+        self.alternation_lines *= factor;
+        self
+    }
+
+    /// The same path routed over `hops` crossbars (inter-cluster traffic
+    /// in the 256-processor system).
+    pub fn with_hops(mut self, hops: u32) -> Self {
+        self.hops = hops;
+        // Each extra crossbar adds a route byte to the header and a
+        // pass-through delay to the path.
+        self.header_bytes += hops.saturating_sub(self.hops.min(hops));
+        self.ni.path_delay = Duration::from_ns(100) * hops as u64;
+        self
+    }
+
+    /// Total wire overhead bytes per message (header + trailer).
+    pub fn envelope_bytes(&self) -> u32 {
+        self.header_bytes + self.trailer_bytes
+    }
+
+    /// Connection setup time: one route byte decode per hop.
+    pub fn setup_time(&self) -> Duration {
+        (self.route_setup + self.ni.wire.byte_time) * self.hops as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powermanna_defaults_match_paper() {
+        let c = CommConfig::powermanna();
+        assert_eq!(c.alternation_lines, 4);
+        assert_eq!(c.line_bytes, 64);
+        assert_eq!(c.ni.send_fifo_bytes, 256);
+        assert!((0.2..0.25).contains(&c.setup_time().as_us_f64()));
+    }
+
+    #[test]
+    fn fifo_factor_scales_geometry_and_alternation() {
+        let c = CommConfig::powermanna().with_fifo_factor(4);
+        assert_eq!(c.ni.send_fifo_bytes, 1024);
+        assert_eq!(c.alternation_lines, 16);
+    }
+
+    #[test]
+    fn hops_scale_setup_and_path() {
+        let c1 = CommConfig::powermanna();
+        let c3 = CommConfig::powermanna().with_hops(3);
+        assert!(c3.setup_time() > c1.setup_time() * 2);
+        assert!(c3.ni.path_delay > c1.ni.path_delay);
+    }
+
+    #[test]
+    fn envelope_is_header_plus_trailer() {
+        let c = CommConfig::powermanna();
+        assert_eq!(c.envelope_bytes(), 16);
+    }
+}

@@ -1,0 +1,358 @@
+//! The PIO driver loops and the Figure 9–12 microbenchmarks.
+//!
+//! All benchmarks run on the [`crate::duplex::DuplexChannel`]-class
+//! NI timing model; the numbers
+//! they report are what the paper measured with real runs:
+//!
+//! * [`one_way_latency`] — half the ping-pong time (Figure 9),
+//! * [`gap_at_saturation`] — steady-state message-sending time under
+//!   back-to-back streaming (Figure 10, the LogP *gap*),
+//! * [`unidirectional_bandwidth`] — one direction streaming (Figure 11),
+//! * [`bidirectional_bandwidth`] — both nodes sending and receiving
+//!   simultaneously with the alternating driver §5.2 describes
+//!   (Figure 12).
+
+use crate::config::CommConfig;
+use pm_node::ni::NiDirection;
+use pm_sim::time::{Duration, Time};
+
+/// Time for one message of `bytes` to travel sender-CPU → receiver-CPU,
+/// including connection setup and the user-level software path.
+///
+/// This is "half of the ping-pong time": the ping-pong is symmetric, so
+/// we model one direction exactly.
+///
+/// # Examples
+///
+/// ```
+/// use pm_comm::config::CommConfig;
+/// use pm_comm::driver::one_way_latency;
+///
+/// let lat = one_way_latency(&CommConfig::powermanna(), 8);
+/// assert!((2.0..3.5).contains(&lat.as_us_f64()));
+/// ```
+pub fn one_way_latency(config: &CommConfig, bytes: u32) -> Duration {
+    let mut dir = NiDirection::new(config.ni);
+    // Sender: software overhead, route setup, then PIO pushes of header +
+    // payload + trailer in cache-line chunks. The receiver drains
+    // eagerly, overlapping pops with arrivals; for messages longer than
+    // the FIFO chain, flow control interleaves the two loops.
+    let total = bytes + config.envelope_bytes();
+    let mut cursor = Time::ZERO + config.sw_send + config.setup_time();
+    let mut remaining = total;
+    let mut drained = 0u32;
+    let mut recv_cursor = Time::ZERO;
+    while drained < total {
+        if remaining > 0 {
+            let chunk = remaining.min(config.line_bytes);
+            if let Some(done) = dir.push(cursor, chunk) {
+                cursor = done;
+                remaining -= chunk;
+                continue;
+            }
+        }
+        let chunk = (total - drained).min(config.line_bytes);
+        recv_cursor = dir
+            .pop(recv_cursor, chunk)
+            .expect("pushes recorded above");
+        drained += chunk;
+    }
+    let done = recv_cursor + dir.poll_cost() + config.sw_recv;
+    done.since(Time::ZERO)
+}
+
+/// Steady-state time per message when the sender streams back-to-back
+/// messages of `bytes` and the receiver keeps up (the LogP *gap*, the
+/// "message-sending time at the network saturation point" of Figure 10).
+pub fn gap_at_saturation(config: &CommConfig, bytes: u32) -> Duration {
+    let messages = 64u32;
+    let mut dir = NiDirection::new(config.ni);
+    let total_per_msg = bytes + config.envelope_bytes();
+    let mut send_cursor = Time::ZERO + config.sw_send + config.setup_time();
+    let mut recv_cursor = Time::ZERO;
+    let mut first_done = Time::ZERO;
+    let mut last_done = Time::ZERO;
+    for m in 0..messages {
+        // Per-message software cost on the sending CPU.
+        if m > 0 {
+            send_cursor += config.sw_send;
+        }
+        let mut remaining = total_per_msg;
+        while remaining > 0 {
+            let chunk = remaining.min(config.line_bytes);
+            match dir.push(send_cursor, chunk) {
+                Some(done) => {
+                    send_cursor = done;
+                    remaining -= chunk;
+                }
+                None => {
+                    // Flow control: drain one chunk on the receive side.
+                    recv_cursor = dir
+                        .pop(recv_cursor, config.line_bytes.min(total_per_msg))
+                        .expect("sender is ahead of receiver");
+                }
+            }
+        }
+        if m == 0 {
+            first_done = send_cursor;
+        }
+        last_done = send_cursor;
+    }
+    // Gap = spacing between send completions once the pipe is saturated.
+    last_done.since(first_done) / (messages as u64 - 1)
+}
+
+/// Achieved one-direction bandwidth in Mbyte/s when streaming `bytes`-
+/// sized messages (Figure 11).
+pub fn unidirectional_bandwidth(config: &CommConfig, bytes: u32) -> f64 {
+    // Enough messages to amortise setup; at least 256 KB of traffic.
+    let messages = ((256 * 1024) / (bytes.max(1)) as u64).clamp(16, 4096) as u32;
+    let mut dir = NiDirection::new(config.ni);
+    let per_msg = bytes + config.envelope_bytes();
+    let mut send_cursor = Time::ZERO + config.sw_send + config.setup_time();
+    let mut recv_cursor = Time::ZERO;
+    let mut received = 0u64;
+    let total = per_msg as u64 * messages as u64;
+    let mut sent = 0u64;
+    let mut last_data = Time::ZERO;
+    let mut msg_remaining = per_msg;
+    let mut msgs_sent = 0u32;
+    while received < total {
+        if msgs_sent < messages {
+            let chunk = msg_remaining.min(config.line_bytes);
+            if let Some(done) = dir.push(send_cursor, chunk) {
+                send_cursor = done;
+                sent += chunk as u64;
+                msg_remaining -= chunk;
+                if msg_remaining == 0 {
+                    msgs_sent += 1;
+                    msg_remaining = per_msg;
+                    send_cursor += config.sw_send;
+                }
+                continue;
+            }
+        }
+        let chunk = ((total - received) as u32).min(config.line_bytes);
+        let popped = dir.pop(recv_cursor, chunk).expect("sender ahead");
+        recv_cursor = popped;
+        received += chunk as u64;
+        last_data = popped;
+    }
+    let _ = sent;
+    let payload = bytes as u64 * messages as u64;
+    payload as f64 / last_data.since(Time::ZERO).as_secs_f64() / 1e6
+}
+
+/// Aggregate bandwidth in Mbyte/s when both nodes stream `bytes`-sized
+/// messages to each other simultaneously (Figure 12).
+///
+/// Each node runs the real driver loop: push up to
+/// [`CommConfig::alternation_lines`] cache lines, then switch direction,
+/// test the receive FIFO and drain what has arrived, switch back. The
+/// switch costs software time; with the 256-byte FIFOs this overhead is
+/// why the paper "did not obtain the expected bandwidth".
+pub fn bidirectional_bandwidth(config: &CommConfig, bytes: u32) -> f64 {
+    let messages = ((128 * 1024) / (bytes.max(1)) as u64).clamp(16, 2048) as u32;
+    let per_msg = (bytes + config.envelope_bytes()) as u64;
+    let total = per_msg * messages as u64;
+
+    // Two independent directions; each node's CPU alternates between
+    // feeding its outgoing direction and draining its incoming one.
+    let mut out = [NiDirection::new(config.ni), NiDirection::new(config.ni)];
+
+    struct NodeState {
+        cpu: Time,
+        sent: u64,
+        received: u64,
+        finished_recv: Time,
+    }
+    let mut nodes = [
+        NodeState {
+            cpu: Time::ZERO + config.sw_send + config.setup_time(),
+            sent: 0,
+            received: 0,
+            finished_recv: Time::ZERO,
+        },
+        NodeState {
+            cpu: Time::ZERO + config.sw_send + config.setup_time(),
+            sent: 0,
+            received: 0,
+            finished_recv: Time::ZERO,
+        },
+    ];
+
+    let line = config.line_bytes;
+    let burst = (config.alternation_lines * line) as u64;
+    loop {
+        let done = nodes
+            .iter()
+            .all(|n| n.sent >= total && n.received >= total);
+        if done {
+            break;
+        }
+        // Advance the node whose CPU is furthest behind.
+        let i = if (nodes[0].sent < total || nodes[0].received < total)
+            && (nodes[0].cpu <= nodes[1].cpu
+                || (nodes[1].sent >= total && nodes[1].received >= total))
+        {
+            0
+        } else {
+            1
+        };
+        let (tx, rx) = if i == 0 {
+            let (a, b) = out.split_at_mut(1);
+            (&mut a[0], &mut b[0])
+        } else {
+            let (a, b) = out.split_at_mut(1);
+            (&mut b[0], &mut a[0])
+        };
+        let peer_cpu = nodes[1 - i].cpu;
+        let node = &mut nodes[i];
+
+        // Send phase: up to `alternation_lines` cache lines.
+        let mut burst_sent = 0u64;
+        while node.sent < total && burst_sent < burst {
+            let chunk = ((total - node.sent) as u32).min(line);
+            match tx.push(node.cpu, chunk) {
+                Some(done) => {
+                    node.cpu = done;
+                    node.sent += chunk as u64;
+                    burst_sent += chunk as u64;
+                }
+                None => break, // FIFO full — turn around early.
+            }
+        }
+        // Direction switch: test the receive FIFO.
+        node.cpu += config.switch_cost + tx.poll_cost();
+        // Receive phase: drain whatever has arrived (bounded by the same
+        // burst size — the FIFO cannot hold more).
+        let mut burst_recv = 0u64;
+        while node.received < total && burst_recv < burst {
+            let chunk = ((total - node.received) as u32).min(line);
+            match rx.pop(node.cpu, chunk) {
+                Some(done) => {
+                    // Only wait for data that has actually arrived by now;
+                    // if the pop had to wait, charge the wait.
+                    node.cpu = done;
+                    node.received += chunk as u64;
+                    burst_recv += chunk as u64;
+                    if node.received >= total {
+                        node.finished_recv = done;
+                    }
+                }
+                None => break,
+            }
+        }
+        if burst_recv == 0 && burst_sent == 0 {
+            // Neither direction progressed: wait for data in flight.
+            let chunk = ((total - node.received) as u32).min(line);
+            let wake = match rx.data_available(node.cpu, chunk) {
+                Some(at) => at,
+                // Peer has not produced yet; nudge past its CPU time.
+                None => peer_cpu.max(node.cpu) + config.ni.status_poll_cost,
+            };
+            node.cpu = wake;
+        }
+        node.cpu += config.switch_cost;
+    }
+
+    let end = nodes[0].finished_recv.max(nodes[1].finished_recv);
+    let payload = 2.0 * (bytes as u64 * messages as u64) as f64;
+    payload / end.since(Time::ZERO).as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CommConfig {
+        CommConfig::powermanna()
+    }
+
+    #[test]
+    fn eight_byte_latency_matches_paper() {
+        let lat = one_way_latency(&cfg(), 8).as_us_f64();
+        // Paper: 2.75 us. Allow the calibration band.
+        assert!((2.4..3.1).contains(&lat), "8-byte latency {lat:.2} us");
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        let l8 = one_way_latency(&cfg(), 8);
+        let l1k = one_way_latency(&cfg(), 1024);
+        let l4k = one_way_latency(&cfg(), 4096);
+        assert!(l8 < l1k && l1k < l4k);
+        // 4 KB at 60 MB/s is ~68 us of wire time alone.
+        assert!(l4k.as_us_f64() > 60.0);
+    }
+
+    #[test]
+    fn gap_small_messages_is_cpu_bound() {
+        let g = gap_at_saturation(&cfg(), 8).as_us_f64();
+        // Dominated by the per-message software send cost (~1.1 us) plus
+        // pushes; far below the one-way latency.
+        assert!((1.0..2.5).contains(&g), "8-byte gap {g:.2} us");
+        assert!(g < one_way_latency(&cfg(), 8).as_us_f64());
+    }
+
+    #[test]
+    fn gap_large_messages_is_wire_bound() {
+        let g = gap_at_saturation(&cfg(), 4096).as_us_f64();
+        // 4 KB + envelope at 60 MB/s ≈ 68.5 us.
+        assert!((60.0..80.0).contains(&g), "4-KB gap {g:.2} us");
+    }
+
+    #[test]
+    fn unidirectional_saturates_at_link_rate() {
+        let bw = unidirectional_bandwidth(&cfg(), 16 * 1024);
+        assert!(
+            (52.0..61.0).contains(&bw),
+            "large-message unidirectional {bw:.1} MB/s should approach 60"
+        );
+    }
+
+    #[test]
+    fn unidirectional_small_messages_overhead_bound() {
+        let bw = unidirectional_bandwidth(&cfg(), 16);
+        assert!(bw < 15.0, "16-byte messages {bw:.1} MB/s should be overhead-bound");
+    }
+
+    #[test]
+    fn bidirectional_falls_short_of_double_unidirectional() {
+        let uni = unidirectional_bandwidth(&cfg(), 16 * 1024);
+        let bi = bidirectional_bandwidth(&cfg(), 16 * 1024);
+        assert!(
+            bi < 1.6 * uni,
+            "Figure 12 effect: bidirectional {bi:.1} must fall short of 2x{uni:.1}"
+        );
+        assert!(bi > uni * 0.8, "bidirectional {bi:.1} should still beat one direction {uni:.1}");
+    }
+
+    #[test]
+    fn deeper_fifos_recover_bidirectional_bandwidth() {
+        let shallow = bidirectional_bandwidth(&cfg(), 16 * 1024);
+        let deep = bidirectional_bandwidth(&cfg().with_fifo_factor(8), 16 * 1024);
+        assert!(
+            deep > shallow * 1.2,
+            "ablation X3: deeper FIFOs {deep:.1} should beat {shallow:.1}"
+        );
+    }
+
+    #[test]
+    fn more_hops_add_setup_latency() {
+        let l1 = one_way_latency(&cfg(), 8);
+        let l3 = one_way_latency(&cfg().with_hops(3), 8);
+        let delta = l3.as_us_f64() - l1.as_us_f64();
+        assert!(
+            (0.3..0.8).contains(&delta),
+            "two extra crossbars should add ~0.4-0.6 us, got {delta:.2}"
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = bidirectional_bandwidth(&cfg(), 4096);
+        let b = bidirectional_bandwidth(&cfg(), 4096);
+        assert_eq!(a, b);
+    }
+}

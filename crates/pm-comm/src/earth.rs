@@ -1,0 +1,250 @@
+//! EARTH-style multithreaded latency tolerance (§7 of the paper).
+//!
+//! "For the forerunner MANNA machine, the EARTH system was shown to
+//! offer low communication cost close to the hardware limits. In a
+//! cooperation project with the University of Delaware, EARTH is
+//! currently being ported to the PowerMANNA machine."
+//!
+//! EARTH hides remote-access latency by switching between many light
+//! fibers: a fiber issues a *split-phase* remote operation and yields;
+//! the CPU runs other fibers until the response lands. This module
+//! simulates that schedule over the measured PowerMANNA latencies, so
+//! the repository covers the paper's stated future work: how much of the
+//! node's throughput multithreading recovers when data is remote.
+
+use crate::config::CommConfig;
+use crate::driver;
+use pm_sim::event::EventQueue;
+use pm_sim::time::{Duration, Time};
+
+/// EARTH runtime cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EarthConfig {
+    /// Cost of switching to another ready fiber (EARTH's claim to fame:
+    /// this is tens of cycles, not a kernel context switch).
+    pub ctx_switch: Duration,
+    /// Cost of issuing a split-phase remote operation (building the
+    /// request token and handing it to the NI).
+    pub issue_cost: Duration,
+}
+
+impl Default for EarthConfig {
+    fn default() -> Self {
+        Self::powermanna()
+    }
+}
+
+impl EarthConfig {
+    /// EARTH on PowerMANNA: ~40-cycle fiber switch, issue cost dominated
+    /// by one cache-line PIO push.
+    pub fn powermanna() -> Self {
+        EarthConfig {
+            ctx_switch: Duration::from_ns(220),
+            issue_cost: Duration::from_ns(300),
+        }
+    }
+}
+
+/// Result of one latency-tolerance run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EarthRun {
+    /// Fibers scheduled.
+    pub fibers: usize,
+    /// Split-phase remote operations completed.
+    pub ops: u64,
+    /// Total simulated time.
+    pub elapsed: Duration,
+    /// Fraction of the time the CPU was running fibers (vs idle waiting
+    /// for responses).
+    pub cpu_utilization: f64,
+}
+
+impl EarthRun {
+    /// Remote operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed == Duration::ZERO {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Simulates `fibers` fibers, each performing `ops_per_fiber` rounds of
+/// (`work` of local compute, then a split-phase remote load of
+/// `remote_bytes`), on one CPU over the given communication stack.
+///
+/// # Panics
+///
+/// Panics if `fibers` or `ops_per_fiber` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use pm_comm::config::CommConfig;
+/// use pm_comm::earth::{run_fibers, EarthConfig};
+/// use pm_sim::time::Duration;
+///
+/// let one = run_fibers(&EarthConfig::powermanna(), &CommConfig::powermanna(),
+///                      1, 50, Duration::from_ns(500), 64);
+/// let many = run_fibers(&EarthConfig::powermanna(), &CommConfig::powermanna(),
+///                       8, 50, Duration::from_ns(500), 64);
+/// assert!(many.ops_per_sec() > 2.0 * one.ops_per_sec());
+/// ```
+pub fn run_fibers(
+    earth: &EarthConfig,
+    comm: &CommConfig,
+    fibers: usize,
+    ops_per_fiber: u64,
+    work: Duration,
+    remote_bytes: u32,
+) -> EarthRun {
+    assert!(fibers > 0, "need at least one fiber");
+    assert!(ops_per_fiber > 0, "need at least one op per fiber");
+    // Round trip of a split-phase read: request + response.
+    let latency = driver::one_way_latency(comm, 8) + driver::one_way_latency(comm, remote_bytes);
+
+    // Event = fiber id becoming ready.
+    let mut q: EventQueue<usize> = EventQueue::new();
+    for f in 0..fibers {
+        q.schedule(Time::ZERO, f);
+    }
+    let mut remaining = vec![ops_per_fiber; fibers];
+    let mut cpu = Time::ZERO;
+    let mut busy = Duration::ZERO;
+    let mut ops = 0u64;
+    let mut last_done = Time::ZERO;
+
+    while let Some((ready, fiber)) = q.pop() {
+        if remaining[fiber] == 0 {
+            continue;
+        }
+        let start = cpu.max(ready);
+        let slice = earth.ctx_switch + work + earth.issue_cost;
+        cpu = start + slice;
+        busy += slice;
+        remaining[fiber] -= 1;
+        ops += 1;
+        let response_at = cpu + latency;
+        last_done = last_done.max(response_at);
+        if remaining[fiber] > 0 {
+            q.schedule(response_at, fiber);
+        }
+    }
+
+    let elapsed = last_done.since(Time::ZERO);
+    EarthRun {
+        fibers,
+        ops,
+        elapsed,
+        cpu_utilization: if elapsed == Duration::ZERO {
+            0.0
+        } else {
+            busy.as_secs_f64() / elapsed.as_secs_f64()
+        },
+    }
+}
+
+/// Sweeps fiber counts and returns `(fibers, Mops/s)` pairs — the
+/// latency-tolerance curve for experiment X8.
+pub fn tolerance_curve(
+    earth: &EarthConfig,
+    comm: &CommConfig,
+    max_fibers: usize,
+    work: Duration,
+    remote_bytes: u32,
+) -> Vec<(usize, f64)> {
+    (1..=max_fibers)
+        .map(|f| {
+            let run = run_fibers(earth, comm, f, 64, work, remote_bytes);
+            (f, run.ops_per_sec() / 1e6)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (EarthConfig, CommConfig) {
+        (EarthConfig::powermanna(), CommConfig::powermanna())
+    }
+
+    #[test]
+    fn single_fiber_is_latency_bound() {
+        let (e, c) = setup();
+        let work = Duration::from_ns(500);
+        let run = run_fibers(&e, &c, 1, 32, work, 64);
+        let latency = driver::one_way_latency(&c, 8) + driver::one_way_latency(&c, 64);
+        let per_op = e.ctx_switch + work + e.issue_cost + latency;
+        let expected = 1.0 / per_op.as_secs_f64();
+        let measured = run.ops_per_sec();
+        assert!(
+            (measured / expected - 1.0).abs() < 0.05,
+            "single fiber {measured:.0} vs latency bound {expected:.0}"
+        );
+        assert!(run.cpu_utilization < 0.25, "mostly idle: {:.2}", run.cpu_utilization);
+    }
+
+    #[test]
+    fn many_fibers_hide_latency() {
+        let (e, c) = setup();
+        let work = Duration::from_ns(500);
+        let one = run_fibers(&e, &c, 1, 64, work, 64);
+        let many = run_fibers(&e, &c, 16, 64, work, 64);
+        assert!(
+            many.ops_per_sec() > 4.0 * one.ops_per_sec(),
+            "16 fibers {:.0} should be >4x one fiber {:.0}",
+            many.ops_per_sec(),
+            one.ops_per_sec()
+        );
+        assert!(many.cpu_utilization > 0.9, "CPU should saturate: {:.2}", many.cpu_utilization);
+    }
+
+    #[test]
+    fn throughput_saturates_at_cpu_bound() {
+        let (e, c) = setup();
+        let work = Duration::from_ns(500);
+        let r16 = run_fibers(&e, &c, 16, 64, work, 64);
+        let r32 = run_fibers(&e, &c, 32, 64, work, 64);
+        // Once the CPU is saturated, more fibers add nothing.
+        let gain = r32.ops_per_sec() / r16.ops_per_sec();
+        assert!(
+            (0.95..1.1).contains(&gain),
+            "beyond saturation gain {gain:.2} should vanish"
+        );
+        // Saturation rate = 1 / per-slice CPU time.
+        let slice = e.ctx_switch + work + e.issue_cost;
+        let bound = 1.0 / slice.as_secs_f64();
+        assert!(r32.ops_per_sec() <= bound * 1.01);
+        assert!(r32.ops_per_sec() > bound * 0.9);
+    }
+
+    #[test]
+    fn curve_is_monotone_then_flat() {
+        let (e, c) = setup();
+        let curve = tolerance_curve(&e, &c, 12, Duration::from_ns(400), 64);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 * 0.99,
+                "tolerance curve should not regress: {:?}",
+                curve
+            );
+        }
+        assert_eq!(curve.len(), 12);
+    }
+
+    #[test]
+    fn all_ops_complete() {
+        let (e, c) = setup();
+        let run = run_fibers(&e, &c, 5, 17, Duration::from_ns(100), 8);
+        assert_eq!(run.ops, 5 * 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fiber")]
+    fn zero_fibers_rejected() {
+        let (e, c) = setup();
+        run_fibers(&e, &c, 0, 1, Duration::ZERO, 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! Superscalar CPU timing models for the PowerMANNA reproduction.
+//!
+//! The MPC620 "is capable of issuing four instructions simultaneously. Its
+//! six execution units can operate in parallel … rename buffers,
+//! reservation stations, dynamic branch prediction and completion unit
+//! increase instruction throughput, guarantee in-order completion" (§2).
+//! For the evaluation, two further properties matter most:
+//!
+//! * the FPU pipelines fused multiply-adds (MatMult's inner loop), and
+//! * the chip "does not support load pipelining" (§5.1.1) — at most one
+//!   load miss is outstanding, which is why PowerMANNA cannot exploit its
+//!   640 Mbyte/s memory in the naive MatMult and the HINT memory region.
+//!
+//! [`Cpu`] executes an abstract instruction trace (`pm-isa`) against a
+//! shared memory system (`pm-mem`), accounting cycles with per-unit
+//! pipelines, a 2-bit branch predictor, a reorder window with in-order
+//! completion, rename-buffer pressure, and the configured load/store unit
+//! behaviour. [`smp::run_smp`] interleaves several CPUs over one
+//! [`pm_mem::MemorySystem`] so bus contention emerges naturally.
+//!
+//! # Examples
+//!
+//! ```
+//! use pm_cpu::{Cpu, CpuConfig};
+//! use pm_isa::TraceBuilder;
+//! use pm_mem::{HierarchyConfig, MemorySystem};
+//!
+//! let mut tb = TraceBuilder::new();
+//! let a = tb.load(0, 8);
+//! let b = tb.load(64, 8);
+//! let c = tb.fadd(a, b);
+//! tb.store(c, 128, 8);
+//!
+//! let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
+//! let mut cpu = Cpu::new(CpuConfig::mpc620());
+//! let r = cpu.execute(tb.finish(), &mut mem, 0);
+//! assert_eq!(r.instrs, 4);
+//! assert!(r.cycles > 0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod predictor;
+pub mod smp;
+
+pub use config::{CpuConfig, UnitTiming};
+pub use engine::{Cpu, RunResult};
+pub use predictor::BranchPredictor;
+pub use smp::{run_smp, run_smp_at};

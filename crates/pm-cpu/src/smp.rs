@@ -1,0 +1,269 @@
+//! Interleaved multi-CPU execution over one shared memory system.
+//!
+//! Figure 8 of the paper runs MatMult on both processors of each node at
+//! once; contention has to emerge from the two instruction streams hitting
+//! the bus at overlapping times. [`run_smp`] steps whichever CPU is
+//! earliest in simulated time, one instruction at a time, so accesses from
+//! the two cores interleave realistically on the shared
+//! [`MemorySystem`]'s resources.
+
+use crate::config::CpuConfig;
+use crate::engine::{Cpu, RunResult};
+use pm_isa::Trace;
+use pm_mem::MemorySystem;
+use pm_sim::time::Time;
+
+/// Runs one trace per CPU concurrently on a shared memory system.
+///
+/// Returns one [`RunResult`] per CPU. CPUs with exhausted traces drop out;
+/// the others continue.
+///
+/// # Panics
+///
+/// Panics if the number of configs/traces differs or exceeds the memory
+/// system's port count, or if no CPUs are given.
+///
+/// # Examples
+///
+/// ```
+/// use pm_cpu::{run_smp, CpuConfig};
+/// use pm_isa::TraceBuilder;
+/// use pm_mem::{HierarchyConfig, MemorySystem};
+///
+/// let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(2));
+/// let make = || {
+///     let mut tb = TraceBuilder::new();
+///     for i in 0..64 {
+///         tb.load(i * 64, 8);
+///     }
+///     tb.finish()
+/// };
+/// let results = run_smp(
+///     &[CpuConfig::mpc620(), CpuConfig::mpc620()],
+///     vec![make(), make()],
+///     &mut mem,
+/// );
+/// assert_eq!(results.len(), 2);
+/// ```
+pub fn run_smp(
+    configs: &[CpuConfig],
+    traces: Vec<Trace>,
+    mem: &mut MemorySystem,
+) -> Vec<RunResult> {
+    run_smp_at(configs, traces, mem, Time::ZERO)
+}
+
+/// Like [`run_smp`], but starting no earlier than `start` — used to chain
+/// phases (e.g. transpose, then multiply) over one warm memory system.
+pub fn run_smp_at(
+    configs: &[CpuConfig],
+    traces: Vec<Trace>,
+    mem: &mut MemorySystem,
+    start: Time,
+) -> Vec<RunResult> {
+    assert!(!configs.is_empty(), "need at least one CPU");
+    assert_eq!(
+        configs.len(),
+        traces.len(),
+        "one trace per CPU is required"
+    );
+    assert!(
+        configs.len() <= mem.config().cpus,
+        "more CPUs than memory ports"
+    );
+
+    struct Lane {
+        cpu: Cpu,
+        instrs: std::vec::IntoIter<pm_isa::Instr>,
+        result: RunResult,
+        done: bool,
+    }
+
+    let mut lanes: Vec<Lane> = configs
+        .iter()
+        .zip(traces)
+        .map(|(cfg, trace)| {
+            let mut cpu = Cpu::new(cfg.clone());
+            cpu.start_at(start);
+            Lane {
+                cpu,
+                instrs: trace.into_iter(),
+                result: RunResult::default(),
+                done: false,
+            }
+        })
+        .collect();
+
+    loop {
+        // Pick the live lane furthest behind in simulated time.
+        let next = lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.done)
+            .min_by_key(|(_, l)| l.cpu.now())
+            .map(|(i, _)| i);
+        let Some(i) = next else { break };
+        let lane = &mut lanes[i];
+        match lane.instrs.next() {
+            Some(instr) => {
+                lane.cpu.step(&instr, mem, i, &mut lane.result);
+            }
+            None => {
+                lane.done = true;
+                lane.result.finished_at = lane.cpu.now();
+                lane.result.elapsed = lane.cpu.now().since(start);
+                lane.result.cycles = lane.cpu.config().clock.cycles_in(lane.result.elapsed);
+                lane.result.mispredicts = lane.cpu.predictor().mispredicts();
+            }
+        }
+    }
+
+    lanes.into_iter().map(|l| l.result).collect()
+}
+
+/// Dual-processor speedup: time of the longest single run divided by the
+/// time of the longest lane in the SMP run.
+///
+/// This matches the paper's Figure 8 metric: the same total work is either
+/// run on one processor, or split in half across both.
+pub fn speedup(single: &RunResult, smp: &[RunResult]) -> f64 {
+    let smp_time = smp
+        .iter()
+        .map(|r| r.elapsed.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    if smp_time == 0.0 {
+        0.0
+    } else {
+        single.elapsed.as_secs_f64() / smp_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_isa::TraceBuilder;
+    use pm_mem::HierarchyConfig;
+
+    /// A cache-resident FP kernel: both CPUs work out of their own L1s.
+    fn fp_kernel(base: u64, n: usize) -> Trace {
+        let mut tb = TraceBuilder::new();
+        let a = tb.load(base, 8);
+        let b = tb.load(base + 8, 8);
+        let mut acc = tb.reg();
+        for _ in 0..n {
+            acc = tb.fmadd(a, b, acc);
+        }
+        tb.store(acc, base + 16, 8);
+        tb.finish()
+    }
+
+    /// A memory-streaming kernel touching `lines` distinct lines.
+    fn stream_kernel(base: u64, lines: u64) -> Trace {
+        let mut tb = TraceBuilder::new();
+        for i in 0..lines {
+            tb.load(base + i * 64, 8);
+        }
+        tb.finish()
+    }
+
+    #[test]
+    fn cache_resident_work_scales_perfectly_on_620() {
+        let mut mem1 = MemorySystem::new(HierarchyConfig::mpc620_node(2));
+        let single = run_smp(&[CpuConfig::mpc620()], vec![fp_kernel(0, 2000)], &mut mem1);
+
+        let mut mem2 = MemorySystem::new(HierarchyConfig::mpc620_node(2));
+        let both = run_smp(
+            &[CpuConfig::mpc620(), CpuConfig::mpc620()],
+            vec![fp_kernel(0, 1000), fp_kernel(1 << 16, 1000)],
+            &mut mem2,
+        );
+        let s = speedup(&single[0], &both);
+        assert!(
+            (1.8..=2.1).contains(&s),
+            "620 cache-resident speedup {s:.2} should be ~2"
+        );
+    }
+
+    #[test]
+    fn streaming_contends_more_on_shared_bus() {
+        // The same disjoint streaming load on PowerMANNA vs the Pentium II
+        // board: the non-split shared FSB loses more than the ADSP node.
+        let lines = 2048u64;
+
+        let run_machine = |mk_mem: &dyn Fn(usize) -> MemorySystem, cfg: &CpuConfig| -> f64 {
+            let mut m1 = mk_mem(2);
+            let single = run_smp(
+                &[cfg.clone()],
+                vec![stream_kernel(0, lines)],
+                &mut m1,
+            );
+            let mut m2 = mk_mem(2);
+            let both = run_smp(
+                &[cfg.clone(), cfg.clone()],
+                vec![
+                    stream_kernel(0, lines / 2),
+                    stream_kernel(1 << 24, lines / 2),
+                ],
+                &mut m2,
+            );
+            speedup(&single[0], &both)
+        };
+
+        let s_pm = run_machine(
+            &|c| MemorySystem::new(HierarchyConfig::mpc620_node(c)),
+            &CpuConfig::mpc620(),
+        );
+        let s_pc = run_machine(
+            &|c| MemorySystem::new(HierarchyConfig::pentium_node(c, 180.0, 60.0)),
+            &CpuConfig::pentium_ii(180.0),
+        );
+        assert!(
+            s_pm > s_pc,
+            "PowerMANNA streaming speedup {s_pm:.2} should beat Pentium {s_pc:.2}"
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let run = || {
+            let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(2));
+            run_smp(
+                &[CpuConfig::mpc620(), CpuConfig::mpc620()],
+                vec![stream_kernel(0, 256), fp_kernel(1 << 20, 256)],
+                &mut mem,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per CPU")]
+    fn rejects_mismatched_lanes() {
+        let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(2));
+        run_smp(&[CpuConfig::mpc620()], vec![], &mut mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "more CPUs than memory ports")]
+    fn rejects_too_many_cpus() {
+        let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
+        run_smp(
+            &[CpuConfig::mpc620(), CpuConfig::mpc620()],
+            vec![Trace::new(), Trace::new()],
+            &mut mem,
+        );
+    }
+
+    #[test]
+    fn empty_traces_finish_immediately() {
+        let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(2));
+        let r = run_smp(
+            &[CpuConfig::mpc620(), CpuConfig::mpc620()],
+            vec![Trace::new(), Trace::new()],
+            &mut mem,
+        );
+        assert!(r.iter().all(|x| x.instrs == 0));
+    }
+}

@@ -1,0 +1,415 @@
+//! A tiny text format for writing kernels without Rust code.
+//!
+//! The format mirrors [`crate::TraceBuilder`] one line per micro-op, with
+//! `loop` blocks and induction-variable address arithmetic so real access
+//! patterns stay concise:
+//!
+//! ```text
+//! ; dot product over 256 elements
+//! loop 256 {
+//!     r1 = load 0x1000 + i*8
+//!     r2 = load 0x9000 + i*8
+//!     r3 = fmadd r1, r2, r3
+//!     branch 0x10 taken
+//! }
+//! store r3, 0x20000
+//! ```
+//!
+//! * registers are `r0`–`r4095`;
+//! * addresses are decimal or `0x` hex, optionally `+ i*K` / `+ j*K`
+//!   (`i` = innermost loop counter, `j` = the next one out);
+//! * loads/stores take an optional trailing width (`, 4`), default 8;
+//! * `branch PC taken|nottaken [rN]` with an optional condition register;
+//! * `;` starts a comment; blank lines are ignored.
+
+use crate::instr::{Instr, OpClass, Reg, VAddr};
+use crate::trace::Trace;
+use core::fmt;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses kernel text into a [`Trace`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for unknown ops,
+/// malformed registers/addresses, unbalanced braces, or misplaced
+/// induction variables.
+///
+/// # Examples
+///
+/// ```
+/// use pm_isa::parse::parse_kernel;
+///
+/// let trace = parse_kernel(
+///     "loop 4 {\n r1 = load 0x100 + i*8\n r2 = fadd r1, r1\n}\n",
+/// )?;
+/// assert_eq!(trace.stats().loads, 4);
+/// assert_eq!(trace.stats().flops, 4);
+/// # Ok::<(), pm_isa::parse::ParseError>(())
+/// ```
+pub fn parse_kernel(text: &str) -> Result<Trace, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l)))
+        .filter(|(_, l)| !l.is_empty());
+    let mut trace = Trace::new();
+    parse_block(&mut lines, &mut trace, &[], None)?;
+    Ok(trace)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+/// Parses statements until EOF (top level) or a closing `}` (in a loop).
+/// `counters` holds the active loop indices, innermost last.
+fn parse_block<'a, I>(
+    lines: &mut I,
+    trace: &mut Trace,
+    counters: &[u64],
+    opened_at: Option<usize>,
+) -> Result<(), ParseError>
+where
+    I: Iterator<Item = (usize, &'a str)> + Clone,
+{
+    while let Some((line_no, line)) = lines.next() {
+        if line == "}" {
+            if opened_at.is_none() {
+                return Err(err(line_no, "unmatched `}`"));
+            }
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix("loop") {
+            let rest = rest.trim();
+            let Some(count_str) = rest.strip_suffix('{') else {
+                return Err(err(line_no, "expected `loop N {`"));
+            };
+            let count: u64 = parse_number(count_str.trim())
+                .ok_or_else(|| err(line_no, "loop count must be a number"))?;
+            // Capture the loop body once, replay it `count` times.
+            let body: Vec<(usize, &str)> = collect_body(lines, line_no)?;
+            for iter in 0..count {
+                let mut inner = counters.to_vec();
+                inner.push(iter);
+                let mut body_iter = body.iter().copied();
+                parse_block(&mut body_iter, trace, &inner, Some(line_no))?;
+            }
+            continue;
+        }
+        trace.push(parse_statement(line_no, line, counters)?);
+    }
+    if let Some(open) = opened_at {
+        return Err(err(open, "unclosed `{`"));
+    }
+    Ok(())
+}
+
+/// Collects a loop body's lines up to the matching `}` (exclusive),
+/// handling nesting. The closing brace is appended so the replayed
+/// parser terminates each iteration.
+fn collect_body<'a, I>(
+    lines: &mut I,
+    open_line: usize,
+) -> Result<Vec<(usize, &'a str)>, ParseError>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let mut depth = 1usize;
+    let mut body = Vec::new();
+    for (no, line) in lines.by_ref() {
+        if line.ends_with('{') {
+            depth += 1;
+        } else if line == "}" {
+            depth -= 1;
+            if depth == 0 {
+                body.push((no, line));
+                return Ok(body);
+            }
+        }
+        body.push((no, line));
+    }
+    Err(err(open_line, "unclosed `{`"))
+}
+
+fn parse_statement(line_no: usize, line: &str, counters: &[u64]) -> Result<Instr, ParseError> {
+    // Optional `rN =` destination.
+    let (dst, rest) = match line.split_once('=') {
+        Some((lhs, rhs)) if lhs.trim().starts_with('r') && !lhs.trim().contains(' ') => {
+            (Some(parse_reg(line_no, lhs.trim())?), rhs.trim())
+        }
+        _ => (None, line),
+    };
+    let (op, args) = rest.split_once(' ').unwrap_or((rest, ""));
+    let args = args.trim();
+    match op {
+        "load" => {
+            let dst = dst.ok_or_else(|| err(line_no, "load needs `rN =`"))?;
+            let (addr, width) = parse_addr_width(line_no, args, counters)?;
+            Ok(Instr::load(dst, VAddr(addr), width, None))
+        }
+        "store" => {
+            let (src_s, addr_s) = args
+                .split_once(',')
+                .ok_or_else(|| err(line_no, "store needs `store rN, ADDR`"))?;
+            let src = parse_reg(line_no, src_s.trim())?;
+            let (addr, width) = parse_addr_width(line_no, addr_s.trim(), counters)?;
+            Ok(Instr::store(src, VAddr(addr), width))
+        }
+        "branch" => {
+            let mut parts = args.split_whitespace();
+            let pc = parts
+                .next()
+                .and_then(parse_number)
+                .ok_or_else(|| err(line_no, "branch needs a PC"))?;
+            let taken = match parts.next() {
+                Some("taken") => true,
+                Some("nottaken") => false,
+                _ => return Err(err(line_no, "branch needs `taken` or `nottaken`")),
+            };
+            let cond = match parts.next() {
+                Some(r) => Some(parse_reg(line_no, r)?),
+                None => None,
+            };
+            Ok(Instr::branch_at(pc, taken, cond))
+        }
+        "nop" => Ok(Instr::nop()),
+        "fadd" | "fmul" | "fdiv" | "iadd" | "imul" | "idiv" | "fmadd" => {
+            let dst = dst.ok_or_else(|| err(line_no, "ALU ops need `rN =`"))?;
+            let srcs: Vec<Reg> = args
+                .split(',')
+                .map(|s| parse_reg(line_no, s.trim()))
+                .collect::<Result<_, _>>()?;
+            let class = match op {
+                "fadd" => OpClass::FpAdd,
+                "fmul" => OpClass::FpMul,
+                "fdiv" => OpClass::FpDiv,
+                "iadd" => OpClass::IntAlu,
+                "imul" => OpClass::IntMul,
+                "idiv" => OpClass::IntDiv,
+                "fmadd" => OpClass::FpMadd,
+                _ => unreachable!(),
+            };
+            let (want_min, want_max) = if class == OpClass::FpMadd { (3, 3) } else { (1, 2) };
+            if srcs.len() < want_min || srcs.len() > want_max {
+                return Err(err(
+                    line_no,
+                    &format!("{op} takes {want_min}..={want_max} sources"),
+                ));
+            }
+            // fmadd: product operand first, accumulator last (matching
+            // TraceBuilder's dependence layout).
+            let (s1, s2) = if class == OpClass::FpMadd {
+                (Some(srcs[0]), Some(srcs[2]))
+            } else {
+                (Some(srcs[0]), srcs.get(1).copied())
+            };
+            Ok(Instr {
+                op: class,
+                dst: Some(dst),
+                src1: s1,
+                src2: s2,
+                mem: None,
+                branch: None,
+            })
+        }
+        other => Err(err(line_no, &format!("unknown op `{other}`"))),
+    }
+}
+
+/// `ADDR [+ i*K] [, WIDTH]`
+fn parse_addr_width(
+    line_no: usize,
+    text: &str,
+    counters: &[u64],
+) -> Result<(u64, u8), ParseError> {
+    let (addr_part, width) = match text.split_once(',') {
+        Some((a, w)) => {
+            let width: u8 = w
+                .trim()
+                .parse()
+                .map_err(|_| err(line_no, "bad access width"))?;
+            (a.trim(), width)
+        }
+        None => (text, 8u8),
+    };
+    let mut addr = 0u64;
+    for term in addr_part.split('+') {
+        let term = term.trim();
+        if let Some(n) = parse_number(term) {
+            addr += n;
+        } else if let Some((var, scale)) = term.split_once('*') {
+            let idx = match var.trim() {
+                "i" => counters.len().checked_sub(1),
+                "j" => counters.len().checked_sub(2),
+                "k" => counters.len().checked_sub(3),
+                _ => return Err(err(line_no, "induction variables are i, j, k")),
+            }
+            .ok_or_else(|| err(line_no, "induction variable outside its loop"))?;
+            let scale = parse_number(scale.trim())
+                .ok_or_else(|| err(line_no, "bad induction scale"))?;
+            addr += counters[idx] * scale;
+        } else {
+            return Err(err(line_no, &format!("bad address term `{term}`")));
+        }
+    }
+    Ok((addr, width))
+}
+
+fn parse_reg(line_no: usize, text: &str) -> Result<Reg, ParseError> {
+    let digits = text
+        .strip_prefix('r')
+        .ok_or_else(|| err(line_no, &format!("expected a register, got `{text}`")))?;
+    let n: u16 = digits
+        .parse()
+        .map_err(|_| err(line_no, &format!("bad register `{text}`")))?;
+    if n >= 4096 {
+        return Err(err(line_no, "registers are r0..r4095"));
+    }
+    Ok(Reg(n))
+}
+
+fn parse_number(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn err(line: usize, message: &str) -> ParseError {
+    ParseError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::MemKind;
+
+    #[test]
+    fn straight_line_kernel() {
+        let t = parse_kernel(
+            "r1 = load 0x1000\n\
+             r2 = load 0x2000, 4\n\
+             r3 = fadd r1, r2\n\
+             store r3, 0x3000\n\
+             nop\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.instrs()[1].mem.unwrap().bytes, 4);
+        assert_eq!(t.instrs()[3].mem.unwrap().kind, MemKind::Write);
+    }
+
+    #[test]
+    fn loop_unrolls_with_induction() {
+        let t = parse_kernel("loop 4 {\n r1 = load 0x100 + i*8\n}\n").unwrap();
+        assert_eq!(t.stats().loads, 4);
+        let addrs: Vec<u64> = t.instrs().iter().map(|i| i.mem.unwrap().addr.0).collect();
+        assert_eq!(addrs, vec![0x100, 0x108, 0x110, 0x118]);
+    }
+
+    #[test]
+    fn nested_loops_use_i_and_j() {
+        let t = parse_kernel(
+            "loop 2 {\n loop 3 {\n r1 = load 0x0 + j*100 + i*10\n }\n}\n",
+        )
+        .unwrap();
+        let addrs: Vec<u64> = t.instrs().iter().map(|i| i.mem.unwrap().addr.0).collect();
+        assert_eq!(addrs, vec![0, 10, 20, 100, 110, 120]);
+    }
+
+    #[test]
+    fn fmadd_dependences_match_builder() {
+        let t = parse_kernel("r3 = fmadd r1, r2, r3\n").unwrap();
+        let i = t.instrs()[0];
+        assert_eq!(i.op, OpClass::FpMadd);
+        assert_eq!(i.src1, Some(Reg(1)));
+        assert_eq!(i.src2, Some(Reg(3)));
+    }
+
+    #[test]
+    fn branch_with_condition() {
+        let t = parse_kernel("branch 0x40 taken r7\n").unwrap();
+        let i = t.instrs()[0];
+        assert!(i.branch.unwrap().taken);
+        assert_eq!(i.src1, Some(Reg(7)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = parse_kernel("; header\n\n  nop ; trailing\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_kernel("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_kernel("r1 = load 0x0 + i*8\n").unwrap_err();
+        assert!(e.message.contains("outside its loop"), "{e}");
+
+        let e = parse_kernel("loop 2 {\n nop\n").unwrap_err();
+        assert!(e.message.contains("unclosed"), "{e}");
+
+        let e = parse_kernel("}\n").unwrap_err();
+        assert!(e.message.contains("unmatched"), "{e}");
+    }
+
+    #[test]
+    fn register_bounds_checked() {
+        let e = parse_kernel("r4096 = load 0\n").unwrap_err();
+        assert!(e.message.contains("r0..r4095"));
+    }
+
+    #[test]
+    fn parsed_kernel_runs_like_builder_kernel() {
+        // The parsed dot product matches a TraceBuilder-generated one
+        // in operation counts.
+        let parsed = parse_kernel(
+            "loop 64 {\n\
+               r1 = load 0x1000 + i*8\n\
+               r2 = load 0x9000 + i*8\n\
+               r3 = fmadd r1, r2, r3\n\
+               branch 0x10 taken\n\
+             }\n\
+             store r3, 0x20000\n",
+        )
+        .unwrap();
+        let mut tb = crate::TraceBuilder::new();
+        let mut acc = tb.reg();
+        for i in 0..64u64 {
+            let a = tb.load(0x1000 + i * 8, 8);
+            let b = tb.load(0x9000 + i * 8, 8);
+            acc = tb.fmadd(a, b, acc);
+            tb.branch(0x10, true, None);
+        }
+        tb.store(acc, 0x20000, 8);
+        let built = tb.finish();
+        assert_eq!(parsed.stats(), built.stats());
+    }
+}

@@ -1,0 +1,408 @@
+//! Instruction traces and the builder workloads use to emit them.
+
+use crate::instr::{Instr, MemKind, OpClass, Reg, VAddr};
+
+/// Aggregate counts over a trace, used by workloads and the experiment
+/// harness to report operation mixes and MFLOPS.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total micro-operations.
+    pub instrs: u64,
+    /// Memory loads.
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Floating-point operations (fmadd counts two).
+    pub flops: u64,
+    /// Integer ALU/multiply/divide operations.
+    pub int_ops: u64,
+    /// Branches.
+    pub branches: u64,
+}
+
+impl TraceStats {
+    /// Accumulates one instruction into the counts.
+    pub fn record(&mut self, i: &Instr) {
+        self.instrs += 1;
+        match i.op {
+            OpClass::Load => self.loads += 1,
+            OpClass::Store => self.stores += 1,
+            OpClass::Branch => self.branches += 1,
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv => self.int_ops += 1,
+            _ => {}
+        }
+        self.flops += i.op.flops();
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.instrs += other.instrs;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.branches += other.branches;
+    }
+}
+
+/// A materialised instruction stream plus its aggregate statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pm_isa::{Trace, Instr, Reg, VAddr};
+///
+/// let t = Trace::from_instrs(vec![
+///     Instr::load(Reg(0), VAddr(0), 8, None),
+///     Instr::store(Reg(0), VAddr(8), 8),
+/// ]);
+/// assert_eq!(t.stats().loads, 1);
+/// assert_eq!(t.stats().stores, 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    instrs: Vec<Instr>,
+    stats: TraceStats,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace from a vector of instructions, computing stats.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Self {
+        let mut stats = TraceStats::default();
+        for i in &instrs {
+            stats.record(i);
+        }
+        Trace { instrs, stats }
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.stats.record(&i);
+        self.instrs.push(i);
+    }
+
+    /// The instructions in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Aggregate operation counts.
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Iterates instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+
+    /// Appends all instructions of `other`.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.instrs.extend_from_slice(&other.instrs);
+        self.stats.merge(&other.stats);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Instr;
+    type IntoIter = std::vec::IntoIter<Instr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Instr;
+    type IntoIter = std::slice::Iter<'a, Instr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+impl FromIterator<Instr> for Trace {
+    fn from_iter<I: IntoIterator<Item = Instr>>(iter: I) -> Self {
+        Trace::from_instrs(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Instr> for Trace {
+    fn extend<I: IntoIterator<Item = Instr>>(&mut self, iter: I) {
+        for i in iter {
+            self.push(i);
+        }
+    }
+}
+
+/// Emits instruction sequences with automatic register naming.
+///
+/// Kernels obtain fresh register names with [`TraceBuilder::reg`], then emit
+/// operations; each value-producing emitter returns the destination register
+/// so dependences chain naturally.
+///
+/// # Examples
+///
+/// ```
+/// use pm_isa::TraceBuilder;
+///
+/// let mut tb = TraceBuilder::new();
+/// let acc0 = tb.reg();
+/// let a = tb.load(0x100, 8);
+/// let b = tb.load(0x200, 8);
+/// let acc1 = tb.fmadd(a, b, acc0);
+/// tb.branch(1, true, None);
+/// let t = tb.finish();
+/// assert_eq!(t.stats().loads, 2);
+/// assert_eq!(t.stats().flops, 2); // one fmadd
+/// assert_eq!(t.stats().branches, 1);
+/// # let _ = acc1;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    next_reg: u16,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh register name (wraps at 4096; the rename stage in
+    /// `pm-cpu` keys on names, and kernels never keep 4096 values live).
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = (self.next_reg + 1) % 4096;
+        r
+    }
+
+    /// Emits a load of `bytes` at `addr`; returns the loaded value's register.
+    pub fn load(&mut self, addr: u64, bytes: u8) -> Reg {
+        let dst = self.reg();
+        self.trace.push(Instr::load(dst, VAddr(addr), bytes, None));
+        dst
+    }
+
+    /// Emits a load whose address depends on `base` (pointer chase).
+    pub fn load_dep(&mut self, addr: u64, bytes: u8, base: Reg) -> Reg {
+        let dst = self.reg();
+        self.trace
+            .push(Instr::load(dst, VAddr(addr), bytes, Some(base)));
+        dst
+    }
+
+    /// Emits a store of `src` to `addr`.
+    pub fn store(&mut self, src: Reg, addr: u64, bytes: u8) {
+        self.trace.push(Instr::store(src, VAddr(addr), bytes));
+    }
+
+    /// Emits an integer ALU op over up to two sources; returns the result.
+    pub fn iadd(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit2(OpClass::IntAlu, a, b)
+    }
+
+    /// Emits an integer multiply; returns the result.
+    pub fn imul(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit2(OpClass::IntMul, a, b)
+    }
+
+    /// Emits an integer divide; returns the result.
+    pub fn idiv(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit2(OpClass::IntDiv, a, b)
+    }
+
+    /// Emits a floating-point add; returns the result.
+    pub fn fadd(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit2(OpClass::FpAdd, a, b)
+    }
+
+    /// Emits a floating-point multiply; returns the result.
+    pub fn fmul(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit2(OpClass::FpMul, a, b)
+    }
+
+    /// Emits a fused multiply-add `a*b + acc`; returns the result.
+    ///
+    /// Modelled with `acc` as the second source so the loop-carried
+    /// dependence of a dot-product reduction is visible to the scheduler.
+    pub fn fmadd(&mut self, a: Reg, b: Reg, acc: Reg) -> Reg {
+        let dst = self.reg();
+        // a enters via src1; the multiplier operand b is folded into the
+        // unit occupancy, the accumulate dependence rides on src2.
+        let _ = b;
+        self.trace
+            .push(Instr::alu(OpClass::FpMadd, Some(dst), Some(a), Some(acc)));
+        dst
+    }
+
+    /// Emits a floating-point divide; returns the result.
+    pub fn fdiv(&mut self, a: Reg, b: Reg) -> Reg {
+        self.emit2(OpClass::FpDiv, a, b)
+    }
+
+    /// Emits a branch with static id `pc`, actual outcome `taken`, optionally
+    /// condition-dependent on `cond`.
+    pub fn branch(&mut self, pc: u64, taken: bool, cond: Option<Reg>) {
+        self.trace.push(Instr::branch_at(pc, taken, cond));
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.trace.push(Instr::nop());
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Finishes the build and returns the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+
+    fn emit2(&mut self, op: OpClass, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.trace.push(Instr::alu(op, Some(dst), Some(a), Some(b)));
+        dst
+    }
+}
+
+/// Convenience: classify a trace's memory footprint (distinct cache lines
+/// touched for a given line size). Useful in tests and for working-set
+/// assertions in the HINT reproduction.
+pub fn distinct_lines<'a, I>(instrs: I, line_bytes: u64) -> usize
+where
+    I: IntoIterator<Item = &'a Instr>,
+{
+    let mut lines: Vec<u64> = instrs
+        .into_iter()
+        .filter_map(|i| i.mem.map(|m| m.addr.cache_line(line_bytes)))
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len()
+}
+
+/// Convenience: total bytes read and written by a trace.
+pub fn traffic_bytes<'a, I>(instrs: I) -> (u64, u64)
+where
+    I: IntoIterator<Item = &'a Instr>,
+{
+    let mut read = 0;
+    let mut written = 0;
+    for i in instrs {
+        if let Some(m) = i.mem {
+            match m.kind {
+                MemKind::Read => read += m.bytes as u64,
+                MemKind::Write => written += m.bytes as u64,
+            }
+        }
+    }
+    (read, written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_dependences() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.load(0, 8);
+        let b = tb.load(8, 8);
+        let c = tb.fadd(a, b);
+        tb.store(c, 16, 8);
+        let t = tb.finish();
+        assert_eq!(t.len(), 4);
+        let add = t.instrs()[2];
+        assert_eq!(add.src1, Some(a));
+        assert_eq!(add.src2, Some(b));
+        assert_eq!(t.instrs()[3].src1, Some(c));
+    }
+
+    #[test]
+    fn stats_count_all_classes() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.load(0, 8);
+        let b = tb.load(64, 8);
+        let s = tb.fmadd(a, b, a);
+        let i = tb.iadd(a, b);
+        let _ = tb.idiv(i, i);
+        tb.store(s, 128, 8);
+        tb.branch(0, false, None);
+        tb.nop();
+        let st = tb.finish().stats();
+        assert_eq!(st.instrs, 8);
+        assert_eq!(st.loads, 2);
+        assert_eq!(st.stores, 1);
+        assert_eq!(st.flops, 2);
+        assert_eq!(st.int_ops, 2);
+        assert_eq!(st.branches, 1);
+    }
+
+    #[test]
+    fn trace_from_iterator_and_extend() {
+        let t: Trace = (0..4)
+            .map(|k| Instr::load(Reg(k), VAddr(64 * k as u64), 8, None))
+            .collect();
+        assert_eq!(t.stats().loads, 4);
+        let mut t2 = Trace::new();
+        t2.extend(t.clone());
+        t2.extend_from(&t);
+        assert_eq!(t2.len(), 8);
+        assert_eq!(t2.stats().loads, 8);
+    }
+
+    #[test]
+    fn distinct_lines_counts_lines_not_accesses() {
+        let mut tb = TraceBuilder::new();
+        for k in 0..16 {
+            tb.load(k * 8, 8); // 16 loads over 2 64-byte lines
+        }
+        let t = tb.finish();
+        assert_eq!(distinct_lines(t.iter(), 64), 2);
+        assert_eq!(distinct_lines(t.iter(), 32), 4);
+    }
+
+    #[test]
+    fn traffic_splits_reads_and_writes() {
+        let mut tb = TraceBuilder::new();
+        let v = tb.load(0, 8);
+        tb.store(v, 8, 4);
+        tb.store(v, 16, 4);
+        let t = tb.finish();
+        assert_eq!(traffic_bytes(t.iter()), (8, 8));
+    }
+
+    #[test]
+    fn register_names_wrap() {
+        let mut tb = TraceBuilder::new();
+        let first = tb.reg();
+        for _ in 0..4095 {
+            tb.reg();
+        }
+        let wrapped = tb.reg();
+        assert_eq!(first, wrapped);
+    }
+}

@@ -1,0 +1,343 @@
+//! A set-associative, write-back, write-allocate cache with per-line MESI
+//! state and LRU replacement.
+
+use crate::geometry::CacheGeometry;
+use crate::mesi::MesiState;
+
+/// Per-line metadata: tag, MESI state, LRU stamp.
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    state: MesiState,
+    lru: u64,
+}
+
+/// A victim line pushed out by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Base address of the evicted line.
+    pub base_addr: u64,
+    /// Its MESI state at eviction; [`MesiState::Modified`] means a
+    /// write-back is due.
+    pub state: MesiState,
+}
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the line in a readable state.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Fills that displaced a valid line.
+    pub evictions: u64,
+    /// Evictions of Modified lines (write-backs).
+    pub writebacks: u64,
+    /// Lines invalidated by snoops.
+    pub snoop_invalidations: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all lookups (0.0 when no lookups happened).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative cache tag store.
+///
+/// The cache is *functional over metadata*: it tracks which lines are
+/// present and in which MESI state, but carries no data values (the
+/// workloads compute values independently; timing only needs presence).
+///
+/// # Examples
+///
+/// ```
+/// use pm_mem::cache::Cache;
+/// use pm_mem::geometry::CacheGeometry;
+/// use pm_mem::mesi::MesiState;
+///
+/// let mut c = Cache::new(CacheGeometry::new(1024, 2, 64));
+/// assert_eq!(c.probe(0x40), MesiState::Invalid);
+/// c.fill(0x40, MesiState::Exclusive);
+/// assert_eq!(c.probe(0x40), MesiState::Exclusive);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = (0..geometry.sets()).map(|_| Vec::new()).collect();
+        Cache {
+            geometry,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Returns the MESI state of the line containing `addr` without
+    /// affecting LRU order or statistics.
+    pub fn probe(&self, addr: u64) -> MesiState {
+        let set = &self.sets[self.geometry.set_index(addr) as usize];
+        let tag = self.geometry.tag(addr);
+        set.iter()
+            .find(|l| l.tag == tag)
+            .map_or(MesiState::Invalid, |l| l.state)
+    }
+
+    /// Looks up `addr`, updating LRU order and hit/miss statistics.
+    /// Returns the line state ([`MesiState::Invalid`] on miss).
+    pub fn lookup(&mut self, addr: u64) -> MesiState {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.geometry.tag(addr);
+        let set = &mut self.sets[self.geometry.set_index(addr) as usize];
+        if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
+            l.lru = clock;
+            self.stats.hits += 1;
+            l.state
+        } else {
+            self.stats.misses += 1;
+            MesiState::Invalid
+        }
+    }
+
+    /// Installs the line containing `addr` in `state`, evicting the LRU
+    /// victim if the set is full. Returns the victim, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present (fill after hit is a model
+    /// bug) or if `state` is [`MesiState::Invalid`].
+    pub fn fill(&mut self, addr: u64, state: MesiState) -> Option<EvictedLine> {
+        assert!(state != MesiState::Invalid, "cannot fill an Invalid line");
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.geometry.tag(addr);
+        let ways = self.geometry.ways() as usize;
+        let geometry = self.geometry;
+        let set_idx = geometry.set_index(addr) as usize;
+        let set = &mut self.sets[set_idx];
+        assert!(
+            set.iter().all(|l| l.tag != tag),
+            "fill of already-present line {addr:#x}"
+        );
+        let mut victim = None;
+        if set.len() == ways {
+            // Evict the least recently used way.
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("nonempty set");
+            let v = set.swap_remove(vi);
+            self.stats.evictions += 1;
+            if v.state.dirty() {
+                self.stats.writebacks += 1;
+            }
+            let sets_count = geometry.sets();
+            let base = (v.tag * sets_count + set_idx as u64) * geometry.line_bytes() as u64;
+            victim = Some(EvictedLine {
+                base_addr: base,
+                state: v.state,
+            });
+        }
+        set.push(Line {
+            tag,
+            state,
+            lru: clock,
+        });
+        victim
+    }
+
+    /// Sets the MESI state of a present line (upgrade/downgrade).
+    ///
+    /// Setting [`MesiState::Invalid`] removes the line. Does nothing if the
+    /// line is absent.
+    pub fn set_state(&mut self, addr: u64, state: MesiState) {
+        let tag = self.geometry.tag(addr);
+        let set = &mut self.sets[self.geometry.set_index(addr) as usize];
+        if state == MesiState::Invalid {
+            if let Some(i) = set.iter().position(|l| l.tag == tag) {
+                set.swap_remove(i);
+            }
+        } else if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
+            l.state = state;
+        }
+    }
+
+    /// Applies a snoop-driven state change, counting invalidations.
+    pub fn snoop_set_state(&mut self, addr: u64, state: MesiState) {
+        if state == MesiState::Invalid && self.probe(addr) != MesiState::Invalid {
+            self.stats.snoop_invalidations += 1;
+        }
+        self.set_state(addr, state);
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets, 2 ways, 64-byte lines = 512 bytes
+        Cache::new(CacheGeometry::new(512, 2, 64))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x40), MesiState::Invalid);
+        c.fill(0x40, MesiState::Exclusive);
+        assert_eq!(c.lookup(0x40), MesiState::Exclusive);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = small();
+        c.fill(0x40, MesiState::Shared);
+        assert_eq!(c.lookup(0x7f), MesiState::Shared);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Set 0 holds lines with addresses k * sets * line = k * 256.
+        c.fill(0, MesiState::Exclusive);
+        c.fill(256, MesiState::Exclusive);
+        // Touch line 0 so line 256 becomes LRU.
+        c.lookup(0);
+        let victim = c.fill(512, MesiState::Exclusive).expect("eviction");
+        assert_eq!(victim.base_addr, 256);
+        assert_eq!(c.probe(0), MesiState::Exclusive);
+        assert_eq!(c.probe(256), MesiState::Invalid);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small();
+        c.fill(0, MesiState::Modified);
+        c.fill(256, MesiState::Exclusive);
+        let v = c.fill(512, MesiState::Exclusive).expect("eviction");
+        assert_eq!(v.state, MesiState::Modified);
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evicted_base_address_reconstruction() {
+        let g = CacheGeometry::new(512, 1, 64); // 8 direct-mapped sets
+        let mut c = Cache::new(g);
+        let addr = 0x1234u64 & !63; // some line
+        c.fill(addr, MesiState::Modified);
+        let conflicting = addr + 8 * 64; // same set, next tag
+        let v = c.fill(conflicting, MesiState::Exclusive).expect("conflict eviction");
+        assert_eq!(v.base_addr, addr);
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut c = small();
+        c.fill(0x40, MesiState::Exclusive);
+        c.set_state(0x40, MesiState::Modified);
+        assert_eq!(c.probe(0x40), MesiState::Modified);
+        c.set_state(0x40, MesiState::Invalid);
+        assert_eq!(c.probe(0x40), MesiState::Invalid);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn snoop_invalidation_counted() {
+        let mut c = small();
+        c.fill(0x40, MesiState::Shared);
+        c.snoop_set_state(0x40, MesiState::Invalid);
+        assert_eq!(c.stats().snoop_invalidations, 1);
+        // Invalidating an absent line does not count.
+        c.snoop_set_state(0x80, MesiState::Invalid);
+        assert_eq!(c.stats().snoop_invalidations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn double_fill_panics() {
+        let mut c = small();
+        c.fill(0x40, MesiState::Exclusive);
+        c.fill(0x44, MesiState::Shared); // same line
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = small();
+        c.lookup(0);
+        c.fill(0, MesiState::Exclusive);
+        c.lookup(0);
+        c.lookup(0);
+        assert!((c.stats().miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = small();
+        c.fill(0, MesiState::Modified);
+        c.lookup(0);
+        c.reset();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn capacity_working_set_behaviour() {
+        // A working set larger than the cache keeps missing; smaller fits.
+        let mut c = Cache::new(CacheGeometry::new(4096, 4, 64)); // 64 lines
+        // Fill 32 lines (fits).
+        for i in 0..32u64 {
+            if c.lookup(i * 64) == MesiState::Invalid {
+                c.fill(i * 64, MesiState::Exclusive);
+            }
+        }
+        // Second pass: all hits.
+        let before = c.stats().misses;
+        for i in 0..32u64 {
+            assert_ne!(c.lookup(i * 64), MesiState::Invalid);
+        }
+        assert_eq!(c.stats().misses, before);
+    }
+}

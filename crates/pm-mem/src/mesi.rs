@@ -1,0 +1,174 @@
+//! MESI coherence states and snoop transactions.
+//!
+//! The MPC620 "efficiently supports the full MESI cache-coherence protocol
+//! and allows several outstanding snoop requests to be queued" (§2). The
+//! hierarchy model keeps per-line MESI state in each cache and issues the
+//! snoop transactions below on its bus model.
+
+use core::fmt;
+
+/// Per-line MESI coherence state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MesiState {
+    /// Dirty and exclusive to this cache.
+    Modified,
+    /// Clean and exclusive to this cache.
+    Exclusive,
+    /// Clean, possibly replicated in other caches.
+    Shared,
+    /// Not present / invalidated.
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether the line may satisfy a read without a bus transaction.
+    pub fn readable(self) -> bool {
+        self != MesiState::Invalid
+    }
+
+    /// Whether the line may be written without a bus transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Whether the line must be written back on eviction.
+    pub fn dirty(self) -> bool {
+        self == MesiState::Modified
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MesiState::Modified => "M",
+            MesiState::Exclusive => "E",
+            MesiState::Shared => "S",
+            MesiState::Invalid => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Snoopable bus transaction kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SnoopKind {
+    /// Read with intent to share (load miss).
+    Read,
+    /// Read with intent to modify (store miss).
+    ReadExclusive,
+    /// Upgrade a Shared line to Exclusive without data transfer (store hit
+    /// on a Shared line); invalidates other copies.
+    Upgrade,
+}
+
+/// How a *remote* cache responds when it snoops a transaction against a
+/// line it holds in `state`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SnoopResponse {
+    /// Line not present; nothing happens.
+    Miss,
+    /// Line present and clean; remote copy downgraded (to Shared) or
+    /// invalidated depending on the transaction.
+    Clean,
+    /// Line present and Modified; the remote cache supplies the data
+    /// (cache-to-cache intervention, §2) and downgrades/invalidates.
+    Intervention,
+}
+
+/// Computes the snoop response and the remote line's next state.
+///
+/// # Examples
+///
+/// ```
+/// use pm_mem::mesi::{snoop, MesiState, SnoopKind, SnoopResponse};
+///
+/// // A read snooping a Modified remote line triggers an intervention and
+/// // leaves the remote copy Shared.
+/// let (resp, next) = snoop(MesiState::Modified, SnoopKind::Read);
+/// assert_eq!(resp, SnoopResponse::Intervention);
+/// assert_eq!(next, MesiState::Shared);
+/// ```
+pub fn snoop(state: MesiState, kind: SnoopKind) -> (SnoopResponse, MesiState) {
+    use MesiState::*;
+    use SnoopKind::*;
+    match (state, kind) {
+        (Invalid, _) => (SnoopResponse::Miss, Invalid),
+        (Modified, Read) => (SnoopResponse::Intervention, Shared),
+        (Modified, ReadExclusive) => (SnoopResponse::Intervention, Invalid),
+        // An Upgrade against a Modified remote copy cannot occur in a
+        // correct protocol (the requester held Shared, so nobody holds M);
+        // treat it as an invalidation to stay robust.
+        (Modified, Upgrade) => (SnoopResponse::Intervention, Invalid),
+        (Exclusive | Shared, Read) => (SnoopResponse::Clean, Shared),
+        (Exclusive | Shared, ReadExclusive | Upgrade) => (SnoopResponse::Clean, Invalid),
+    }
+}
+
+/// The state a *requesting* cache installs after its transaction completes,
+/// given whether any remote cache reported the line present.
+pub fn fill_state(kind: SnoopKind, remote_had_copy: bool) -> MesiState {
+    match kind {
+        SnoopKind::Read => {
+            if remote_had_copy {
+                MesiState::Shared
+            } else {
+                MesiState::Exclusive
+            }
+        }
+        SnoopKind::ReadExclusive | SnoopKind::Upgrade => MesiState::Modified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MesiState::*;
+    use SnoopKind::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(Modified.readable() && Modified.writable() && Modified.dirty());
+        assert!(Exclusive.readable() && Exclusive.writable() && !Exclusive.dirty());
+        assert!(Shared.readable() && !Shared.writable());
+        assert!(!Invalid.readable() && !Invalid.writable());
+    }
+
+    #[test]
+    fn read_snoop_downgrades_to_shared() {
+        assert_eq!(snoop(Exclusive, Read), (SnoopResponse::Clean, Shared));
+        assert_eq!(snoop(Shared, Read), (SnoopResponse::Clean, Shared));
+        assert_eq!(snoop(Modified, Read), (SnoopResponse::Intervention, Shared));
+    }
+
+    #[test]
+    fn exclusive_requests_invalidate_remotes() {
+        for k in [ReadExclusive, Upgrade] {
+            assert_eq!(snoop(Shared, k), (SnoopResponse::Clean, Invalid));
+            assert_eq!(snoop(Exclusive, k), (SnoopResponse::Clean, Invalid));
+        }
+        assert_eq!(
+            snoop(Modified, ReadExclusive),
+            (SnoopResponse::Intervention, Invalid)
+        );
+    }
+
+    #[test]
+    fn invalid_lines_do_not_respond() {
+        for k in [Read, ReadExclusive, Upgrade] {
+            assert_eq!(snoop(Invalid, k), (SnoopResponse::Miss, Invalid));
+        }
+    }
+
+    #[test]
+    fn fill_states() {
+        assert_eq!(fill_state(Read, false), Exclusive);
+        assert_eq!(fill_state(Read, true), Shared);
+        assert_eq!(fill_state(ReadExclusive, true), Modified);
+        assert_eq!(fill_state(Upgrade, true), Modified);
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(format!("{Modified}{Exclusive}{Shared}{Invalid}"), "MESI");
+    }
+}

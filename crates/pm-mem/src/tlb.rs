@@ -1,0 +1,246 @@
+//! A data TLB model.
+//!
+//! The MPC620 "provides support for demand-paged virtual-memory address
+//! translation" (§2) with an on-chip MMU. For the evaluation one TLB
+//! property matters enormously: the naive MatMult's column walk touches a
+//! new page almost every access once the row stride passes the page size,
+//! and the TLB reach (entries x 4 KB) is what separates the naive curve
+//! from the transposed one at large N.
+
+use pm_sim::time::Duration;
+
+/// TLB geometry and miss cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity (entries per set).
+    pub ways: u32,
+    /// Page size in bytes.
+    pub page_bytes: u32,
+    /// Latency added to an access that misses the TLB (hardware table
+    /// walk on the MPC620/PII, software handler on the UltraSPARC).
+    pub miss_penalty: Duration,
+}
+
+impl TlbConfig {
+    /// The MPC620 data TLB: 128 entries, 2-way, hardware table walk.
+    pub fn mpc620() -> Self {
+        TlbConfig {
+            entries: 128,
+            ways: 2,
+            page_bytes: 4096,
+            miss_penalty: Duration::from_ns(150),
+        }
+    }
+
+    /// The UltraSPARC-I dTLB: 64 entries, fully associative, but a
+    /// *software* miss handler (Solaris TSB) — expensive misses.
+    pub fn ultrasparc() -> Self {
+        TlbConfig {
+            entries: 64,
+            ways: 64,
+            page_bytes: 8192,
+            miss_penalty: Duration::from_ns(360),
+        }
+    }
+
+    /// The Pentium II dTLB: 64 entries, 4-way, fast hardware walker with
+    /// page tables usually resident in L2.
+    pub fn pentium_ii() -> Self {
+        TlbConfig {
+            entries: 64,
+            ways: 4,
+            page_bytes: 4096,
+            miss_penalty: Duration::from_ns(120),
+        }
+    }
+
+    /// Address range covered when fully populated.
+    pub fn reach_bytes(&self) -> u64 {
+        self.entries as u64 * self.page_bytes as u64
+    }
+}
+
+/// TLB statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Translations that hit.
+    pub hits: u64,
+    /// Translations that missed (paid the walk penalty).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio over all translations.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative TLB with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use pm_mem::tlb::{Tlb, TlbConfig};
+///
+/// let mut tlb = Tlb::new(TlbConfig::mpc620());
+/// assert!(!tlb.translate(0x1000));      // cold miss
+/// assert!(tlb.translate(0x1FFF));       // same page: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<(u64, u64)>>, // (page tag, lru stamp)
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless ways divides entries and page size is a power of two.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.page_bytes.is_power_of_two(), "page size power of two");
+        assert!(
+            config.ways > 0 && config.entries.is_multiple_of(config.ways),
+            "ways must divide entries"
+        );
+        let sets = (config.entries / config.ways) as usize;
+        Tlb {
+            sets: vec![Vec::new(); sets],
+            config,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Translates `addr`: returns `true` on a hit. A miss installs the
+    /// page (caller adds [`TlbConfig::miss_penalty`] to its latency).
+    pub fn translate(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let page = addr / self.config.page_bytes as u64;
+        let set_count = self.sets.len() as u64;
+        let set = &mut self.sets[(page % set_count) as usize];
+        if let Some(e) = set.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() == self.config.ways as usize {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .expect("nonempty set");
+            set.swap_remove(vi);
+        }
+        set.push((page, self.clock));
+        false
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Clears all entries and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.clock = 0;
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(TlbConfig::mpc620());
+        assert!(!t.translate(0x0));
+        assert!(t.translate(0xFFF));
+        assert!(!t.translate(0x1000));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn working_set_within_reach_stays_resident() {
+        let cfg = TlbConfig::mpc620();
+        let mut t = Tlb::new(cfg);
+        // Touch 64 pages (half the reach), twice: second pass all hits.
+        for p in 0..64u64 {
+            t.translate(p * 4096);
+        }
+        let misses_before = t.stats().misses;
+        for p in 0..64u64 {
+            assert!(t.translate(p * 4096), "page {p} should be resident");
+        }
+        assert_eq!(t.stats().misses, misses_before);
+    }
+
+    #[test]
+    fn thrash_beyond_reach() {
+        let cfg = TlbConfig::mpc620();
+        let mut t = Tlb::new(cfg);
+        let pages = cfg.entries as u64 * 4; // 4x the capacity
+        for round in 0..3 {
+            for p in 0..pages {
+                t.translate(p * 4096);
+            }
+            let _ = round;
+        }
+        assert!(
+            t.stats().miss_ratio() > 0.9,
+            "cyclic overflow should thrash: {:.2}",
+            t.stats().miss_ratio()
+        );
+    }
+
+    #[test]
+    fn ultrasparc_uses_8k_pages() {
+        let cfg = TlbConfig::ultrasparc();
+        let mut t = Tlb::new(cfg);
+        assert!(!t.translate(0));
+        assert!(t.translate(8191));
+        assert_eq!(cfg.reach_bytes(), 64 * 8192);
+    }
+
+    #[test]
+    fn reset_clears_entries() {
+        let mut t = Tlb::new(TlbConfig::pentium_ii());
+        t.translate(0);
+        t.reset();
+        assert!(!t.translate(0));
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide")]
+    fn bad_geometry_panics() {
+        Tlb::new(TlbConfig {
+            entries: 10,
+            ways: 3,
+            page_bytes: 4096,
+            miss_penalty: Duration::ZERO,
+        });
+    }
+}

@@ -1,0 +1,416 @@
+//! Flit-level, event-driven simulation of one crossbar under load.
+//!
+//! The connection-level model in [`crate::network`] is exact for the
+//! microbenchmarks, but §3's *blocking behaviour* argument — crossbars
+//! give "the favorable blocking behavior of the hypercube at much lower
+//! cost" — is about what happens when many worms compete. This module
+//! simulates that directly: packets (route byte + payload + close byte)
+//! injected on the 16 inputs, per-input FIFOs, per-output arbitration,
+//! byte-level timing on the link clock, driven by the discrete-event
+//! queue in `pm-sim`.
+
+use crate::crossbar::CrossbarConfig;
+use pm_sim::event::EventQueue;
+use pm_sim::stats::Histogram;
+use pm_sim::time::{Duration, Time};
+use std::collections::VecDeque;
+
+/// One packet to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Input port it arrives on.
+    pub input: u32,
+    /// Output port its route byte selects.
+    pub output: u32,
+    /// Payload bytes (excluding route and close bytes).
+    pub payload: u32,
+    /// When its first byte reaches the input FIFO.
+    pub inject_at: Time,
+}
+
+/// Result of simulating a packet batch.
+#[derive(Clone, Debug)]
+pub struct FlitSimResult {
+    /// Per-packet completion times (last byte out of the output port), in
+    /// the order packets were supplied.
+    pub completions: Vec<Time>,
+    /// Nanoseconds each packet's head waited for its output port beyond
+    /// the route decode (the blocking §3 talks about).
+    pub head_blocking: Histogram,
+    /// The makespan: when the last byte left the crossbar.
+    pub finished_at: Time,
+    /// Total payload bytes moved.
+    pub payload_bytes: u64,
+}
+
+impl FlitSimResult {
+    /// Aggregate throughput over the makespan, in Mbyte/s.
+    pub fn throughput_mbs(&self) -> f64 {
+        if self.finished_at == Time::ZERO {
+            return 0.0;
+        }
+        self.payload_bytes as f64 / self.finished_at.as_secs_f64() / 1e6
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    /// Packet `idx` becomes available at its input FIFO.
+    Arrive(usize),
+    /// Packet `idx` finished streaming; its input and output free up.
+    Done(usize),
+}
+
+/// Wormhole crossbar state during a simulation run.
+struct Sim<'a> {
+    config: CrossbarConfig,
+    byte_time: Duration,
+    packets: &'a [Packet],
+    /// Per-input queue of pending packet indices (head-of-line order).
+    input_queue: Vec<VecDeque<usize>>,
+    /// Per-input: streaming right now?
+    input_busy: Vec<bool>,
+    /// Per-input: when the current head packet reached the FIFO front.
+    head_ready_at: Vec<Time>,
+    /// Per-output: held by a worm?
+    output_busy: Vec<bool>,
+    /// Per-output: inputs whose head is blocked on this output, FIFO order.
+    waiters: Vec<VecDeque<usize>>,
+    completions: Vec<Time>,
+    head_blocking: Histogram,
+    finished_at: Time,
+    payload_bytes: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(config: CrossbarConfig, packets: &'a [Packet]) -> Self {
+        let ports = config.ports as usize;
+        Sim {
+            config,
+            byte_time: crate::wire::WireConfig::synchronous().byte_time,
+            packets,
+            input_queue: vec![VecDeque::new(); ports],
+            input_busy: vec![false; ports],
+            head_ready_at: vec![Time::ZERO; ports],
+            output_busy: vec![false; ports],
+            waiters: vec![VecDeque::new(); ports],
+            completions: vec![Time::ZERO; packets.len()],
+            head_blocking: Histogram::new("head_blocking_ns"),
+            finished_at: Time::ZERO,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Starts `input`'s head packet if the input is idle and its output
+    /// is free; otherwise registers it as a waiter.
+    fn try_start(&mut self, input: usize, now: Time, q: &mut EventQueue<Event>) {
+        if self.input_busy[input] {
+            return;
+        }
+        let Some(&pkt_idx) = self.input_queue[input].front() else {
+            return;
+        };
+        let p = self.packets[pkt_idx];
+        let out = p.output as usize;
+        if self.output_busy[out] {
+            if !self.waiters[out].contains(&input) {
+                self.waiters[out].push_back(input);
+            }
+            return;
+        }
+        // Route-byte serialisation + decode count from when the head hit
+        // the FIFO front; any wait beyond that is blocking.
+        let decode_done = self.head_ready_at[input] + self.byte_time + self.config.route_time;
+        let start = now.max(decode_done);
+        let waited = start.since(decode_done.min(start));
+        self.head_blocking.record(waited.as_ps() / 1000);
+
+        self.output_busy[out] = true;
+        self.input_busy[input] = true;
+        self.input_queue[input].pop_front();
+        // Cut-through: payload + close byte at link rate.
+        let done = start + self.byte_time * (u64::from(p.payload) + 1);
+        self.completions[pkt_idx] = done;
+        self.finished_at = self.finished_at.max(done);
+        self.payload_bytes += u64::from(p.payload);
+        q.schedule(done, Event::Done(pkt_idx));
+    }
+
+    fn on_arrive(&mut self, idx: usize, now: Time, q: &mut EventQueue<Event>) {
+        let input = self.packets[idx].input as usize;
+        self.input_queue[input].push_back(idx);
+        if self.input_queue[input].len() == 1 && !self.input_busy[input] {
+            self.head_ready_at[input] = now;
+        }
+        self.try_start(input, now, q);
+    }
+
+    fn on_done(&mut self, idx: usize, now: Time, q: &mut EventQueue<Event>) {
+        let p = self.packets[idx];
+        let input = p.input as usize;
+        let out = p.output as usize;
+        self.input_busy[input] = false;
+        self.output_busy[out] = false;
+
+        // Fair arbitration: wake the longest-blocked waiter first (the
+        // hardware arbiter rotates grants); the freeing input's own next
+        // packet joins the back of the queue if it wants the same output.
+        while let Some(waiter) = self.waiters[out].pop_front() {
+            let wants = self.input_queue[waiter]
+                .front()
+                .is_some_and(|&i| self.packets[i].output == p.output);
+            if wants && !self.input_busy[waiter] {
+                self.try_start(waiter, now, q);
+                if self.output_busy[out] {
+                    break;
+                }
+            }
+        }
+        // The freed input's next head may now arbitrate (or queue).
+        if !self.input_queue[input].is_empty() {
+            self.head_ready_at[input] = now;
+            self.try_start(input, now, q);
+        }
+    }
+}
+
+/// Simulates one crossbar serving a batch of packets.
+///
+/// Per packet, the model charges: serialisation of the route byte, the
+/// decode time, waiting for the output port (wormhole head-of-line: a
+/// blocked worm also blocks everything behind it on its input), then
+/// cut-through streaming of payload + close byte at link rate.
+///
+/// # Panics
+///
+/// Panics if a packet references a port outside the crossbar.
+///
+/// # Examples
+///
+/// ```
+/// use pm_net::crossbar::CrossbarConfig;
+/// use pm_net::flitsim::{simulate, Packet};
+/// use pm_sim::time::Time;
+///
+/// let packets = vec![
+///     Packet { input: 0, output: 5, payload: 256, inject_at: Time::ZERO },
+///     Packet { input: 1, output: 6, payload: 256, inject_at: Time::ZERO },
+/// ];
+/// let r = simulate(CrossbarConfig::powermanna(), &packets);
+/// // Disjoint ports: both complete without blocking.
+/// assert_eq!(r.head_blocking.total(), 2);
+/// assert_eq!(r.head_blocking.quantile(1.0), 1);
+/// ```
+pub fn simulate(config: CrossbarConfig, packets: &[Packet]) -> FlitSimResult {
+    for p in packets {
+        assert!(
+            p.input < config.ports && p.output < config.ports,
+            "packet references port outside the {}x{} crossbar",
+            config.ports,
+            config.ports
+        );
+    }
+    let mut sim = Sim::new(config, packets);
+    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut order: Vec<usize> = (0..packets.len()).collect();
+    order.sort_by_key(|&i| packets[i].inject_at);
+    for &i in &order {
+        q.schedule(packets[i].inject_at, Event::Arrive(i));
+    }
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Event::Arrive(i) => sim.on_arrive(i, now, &mut q),
+            Event::Done(i) => sim.on_done(i, now, &mut q),
+        }
+    }
+    FlitSimResult {
+        completions: sim.completions,
+        head_blocking: sim.head_blocking,
+        finished_at: sim.finished_at,
+        payload_bytes: sim.payload_bytes,
+    }
+}
+
+/// Generates `packets_per_input` packets on every input with uniformly
+/// random destinations, for saturation experiments.
+pub fn uniform_traffic(
+    config: CrossbarConfig,
+    packets_per_input: u32,
+    payload: u32,
+    seed: u64,
+) -> Vec<Packet> {
+    let mut rng = pm_sim::rng::SimRng::seed_from(seed);
+    let mut out = Vec::new();
+    for input in 0..config.ports {
+        for k in 0..packets_per_input {
+            let output = rng.gen_range(0, u64::from(config.ports)) as u32;
+            out.push(Packet {
+                input,
+                output,
+                payload,
+                inject_at: Time::ZERO + Duration::from_ns(10) * u64::from(k),
+            });
+        }
+    }
+    out
+}
+
+/// A permutation pattern: input `i` sends to output `(i + rotate) mod P`
+/// — the conflict-free case a crossbar handles at full rate.
+pub fn permutation_traffic(
+    config: CrossbarConfig,
+    packets_per_input: u32,
+    payload: u32,
+    rotate: u32,
+) -> Vec<Packet> {
+    let mut out = Vec::new();
+    for input in 0..config.ports {
+        let output = (input + rotate) % config.ports;
+        for k in 0..packets_per_input {
+            out.push(Packet {
+                input,
+                output,
+                payload,
+                inject_at: Time::ZERO + Duration::from_ns(10) * u64::from(k),
+            });
+        }
+    }
+    out
+}
+
+/// A hot-spot pattern: every input sends to output 0 — the worst case.
+pub fn hotspot_traffic(
+    config: CrossbarConfig,
+    packets_per_input: u32,
+    payload: u32,
+) -> Vec<Packet> {
+    let mut out = Vec::new();
+    for input in 0..config.ports {
+        for k in 0..packets_per_input {
+            out.push(Packet {
+                input,
+                output: 0,
+                payload,
+                inject_at: Time::ZERO + Duration::from_ns(10) * u64::from(k),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CrossbarConfig {
+        CrossbarConfig::powermanna()
+    }
+
+    #[test]
+    fn single_packet_timing() {
+        let p = vec![Packet {
+            input: 3,
+            output: 9,
+            payload: 64,
+            inject_at: Time::ZERO,
+        }];
+        let r = simulate(cfg(), &p);
+        // route byte (16.7 ns) + decode (200 ns) + 65 bytes at link rate.
+        let expect = Duration::from_ps(16_667)
+            + Duration::from_ns(200)
+            + Duration::from_ps(16_667) * 65;
+        assert_eq!(r.completions[0], Time::ZERO + expect);
+    }
+
+    #[test]
+    fn permutation_traffic_never_blocks() {
+        let packets = permutation_traffic(cfg(), 8, 256, 5);
+        let r = simulate(cfg(), &packets);
+        assert_eq!(r.head_blocking.total(), packets.len() as u64);
+        assert!(
+            r.head_blocking.quantile(0.99) <= 1,
+            "p99 blocking {} ns",
+            r.head_blocking.quantile(0.99)
+        );
+        // All 16 streams at 60 MB/s: aggregate near 16x one link.
+        assert!(
+            r.throughput_mbs() > 700.0,
+            "aggregate {:.0} MB/s",
+            r.throughput_mbs()
+        );
+    }
+
+    #[test]
+    fn hotspot_serialises_on_one_output() {
+        let packets = hotspot_traffic(cfg(), 2, 256);
+        let r = simulate(cfg(), &packets);
+        // One output at 60 MB/s bounds aggregate throughput.
+        assert!(
+            r.throughput_mbs() < 65.0,
+            "hotspot {:.0} MB/s must be one-link bound",
+            r.throughput_mbs()
+        );
+        // And blocking is rampant.
+        assert!(r.head_blocking.quantile(0.5) > 1000);
+    }
+
+    #[test]
+    fn uniform_traffic_lands_between_extremes() {
+        let packets = uniform_traffic(cfg(), 16, 256, 7);
+        let r = simulate(cfg(), &packets);
+        let perm = simulate(cfg(), &permutation_traffic(cfg(), 16, 256, 1));
+        let hot = simulate(cfg(), &hotspot_traffic(cfg(), 16, 256));
+        assert!(r.throughput_mbs() > hot.throughput_mbs());
+        assert!(r.throughput_mbs() < perm.throughput_mbs());
+    }
+
+    #[test]
+    fn completions_cover_every_packet() {
+        let packets = uniform_traffic(cfg(), 4, 64, 3);
+        let r = simulate(cfg(), &packets);
+        assert_eq!(r.completions.len(), packets.len());
+        assert!(r.completions.iter().all(|&c| c > Time::ZERO));
+        assert_eq!(
+            r.payload_bytes,
+            packets.iter().map(|p| u64::from(p.payload)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn head_of_line_blocking_is_real() {
+        // Input 0: first packet to the hot output, second to a free one.
+        // The second must wait for the first even though its own output
+        // is idle (wormhole, no virtual output queueing).
+        let packets = vec![
+            Packet { input: 1, output: 5, payload: 4096, inject_at: Time::ZERO },
+            Packet { input: 0, output: 5, payload: 64, inject_at: Time::from_ps(1) },
+            Packet { input: 0, output: 9, payload: 64, inject_at: Time::from_ps(2) },
+        ];
+        let r = simulate(cfg(), &packets);
+        // Packet 2 cannot finish before packet 1 started draining, which
+        // waits on the 4-KB worm holding output 5.
+        assert!(r.completions[2] > r.completions[0] - Duration::from_us(10));
+        assert!(r.completions[1] > r.completions[0]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = simulate(cfg(), &uniform_traffic(cfg(), 8, 128, 42));
+        let b = simulate(cfg(), &uniform_traffic(cfg(), 8, 128, 42));
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_port_rejected() {
+        simulate(
+            cfg(),
+            &[Packet {
+                input: 16,
+                output: 0,
+                payload: 1,
+                inject_at: Time::ZERO,
+            }],
+        );
+    }
+}

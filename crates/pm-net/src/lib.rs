@@ -1,0 +1,48 @@
+//! The PowerMANNA communication system (§3 of the paper).
+//!
+//! * [`wire`] — the physical link: clock-synchronous, byte-parallel,
+//!   bidirectional at 60 MHz (60 Mbyte/s per direction); asynchronous
+//!   transceiver variants add inter-cabinet latency.
+//! * [`fifo`] — byte FIFOs with capacity and time-aware occupancy, the
+//!   building block of soft (stop-signal) flow control.
+//! * [`crossbar`] — the 16x16 crossbar ASIC: per-input route decoding,
+//!   per-output arbitration, wormhole connections opened by a `route`
+//!   byte (0.2 us through-routing) and torn down by `close`.
+//! * [`topology`] — the interconnect graph and the standard PowerMANNA
+//!   configurations: the eight-node cluster with two crossbars
+//!   (Figure 5a) and the 256-processor system built from row/column
+//!   permutation networks (Figure 5b).
+//! * [`network`] — connection-level simulation over a topology: open a
+//!   wormhole connection, stream bytes at link rate, close.
+//!
+//! # Examples
+//!
+//! ```
+//! use pm_net::topology::Topology;
+//! use pm_net::network::Network;
+//! use pm_sim::time::Time;
+//!
+//! let mut net = Network::new(Topology::cluster8());
+//! let mut conn = net.open(0, 5, 0, Time::ZERO).expect("route exists");
+//! let arrival = conn.transfer(&mut net, conn.ready_at(), 1024);
+//! conn.close(&mut net, arrival);
+//! assert!(arrival > Time::ZERO);
+//! ```
+
+pub mod crossbar;
+pub mod flitsim;
+pub mod mesh;
+pub mod fifo;
+pub mod network;
+pub mod topology;
+pub mod transceiver;
+pub mod wire;
+
+pub use crossbar::{Crossbar, CrossbarConfig};
+pub use flitsim::{FlitSimResult, Packet};
+pub use mesh::{Mesh, MeshConfig};
+pub use fifo::TimedFifo;
+pub use network::{Connection, Network, RouteError};
+pub use topology::{LinkKind, NodeId, Topology, XbarId};
+pub use transceiver::{Transceiver, TransceiverConfig};
+pub use wire::{Wire, WireConfig};

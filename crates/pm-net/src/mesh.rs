@@ -1,0 +1,337 @@
+//! A 2-D mesh interconnect, for the paper's blocking-behaviour argument.
+//!
+//! §3: "Less expensive mesh topologies, however, as used in the PARAGON
+//! or Cray T3E systems, exhibit a poor blocking behavior. Communication
+//! networks based on crossbars are able to provide the favorable
+//! blocking behavior of the hypercube at much lower cost…"
+//!
+//! This module models the mesh side of that comparison at the same
+//! connection level as [`crate::network`]: dimension-ordered (XY)
+//! wormhole routing, with an established connection holding *every*
+//! directed link on its path until close — which is exactly why long
+//! mesh paths block each other so much more than single-stage crossbar
+//! routes do. Experiment X5 runs the same traffic through both.
+
+use crate::wire::WireConfig;
+use pm_sim::time::{Duration, Time};
+use std::collections::HashMap;
+
+/// Mesh geometry and timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Nodes per row.
+    pub width: u32,
+    /// Nodes per column.
+    pub height: u32,
+    /// Per-hop router pass-through latency (route decode per dimension
+    /// step; same silicon class as the crossbar's 0.2 µs).
+    pub hop_time: Duration,
+    /// Link clocking (same 60 MB/s technology for a fair comparison).
+    pub wire: WireConfig,
+}
+
+impl MeshConfig {
+    /// A mesh built from PowerMANNA-era parts: 60 MB/s links, 0.2 µs
+    /// router hops.
+    pub fn powermanna_parts(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "mesh needs positive dimensions");
+        MeshConfig {
+            width,
+            height,
+            hop_time: Duration::from_ns(200),
+            wire: WireConfig::synchronous(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.width * self.height
+    }
+}
+
+/// A directed mesh link between adjacent nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct LinkId {
+    from: u32,
+    to: u32,
+}
+
+/// An open mesh connection.
+#[derive(Clone, Debug)]
+pub struct MeshConnection {
+    path: Vec<LinkId>,
+    ready_at: Time,
+    byte_time: Duration,
+    head_latency: Duration,
+    closed: bool,
+}
+
+/// The mesh with live link state.
+///
+/// # Examples
+///
+/// ```
+/// use pm_net::mesh::{Mesh, MeshConfig};
+/// use pm_sim::time::Time;
+///
+/// let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
+/// let mut conn = mesh.open(0, 15, Time::ZERO);
+/// let done = conn.transfer(conn.ready_at(), 1024);
+/// conn.close(&mut mesh, done);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    config: MeshConfig,
+    /// Per directed link: the instant it frees (Time::MAX while held).
+    free_at: HashMap<LinkId, Time>,
+    conflicts: u64,
+    opens: u64,
+}
+
+impl Mesh {
+    /// Creates an idle mesh.
+    pub fn new(config: MeshConfig) -> Self {
+        Mesh {
+            config,
+            free_at: HashMap::new(),
+            conflicts: 0,
+            opens: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MeshConfig {
+        self.config
+    }
+
+    /// The XY (dimension-ordered) path between two nodes, as directed
+    /// links.
+    fn xy_path(&self, src: u32, dst: u32) -> Vec<LinkId> {
+        let w = self.config.width;
+        let (mut x, mut y) = (src % w, src / w);
+        let (dx, dy) = (dst % w, dst / w);
+        let mut path = Vec::new();
+        let mut cur = src;
+        while x != dx {
+            x = if x < dx { x + 1 } else { x - 1 };
+            let next = y * w + x;
+            path.push(LinkId { from: cur, to: next });
+            cur = next;
+        }
+        while y != dy {
+            y = if y < dy { y + 1 } else { y - 1 };
+            let next = y * w + x;
+            path.push(LinkId { from: cur, to: next });
+            cur = next;
+        }
+        path
+    }
+
+    /// Number of hops between two nodes under XY routing.
+    pub fn hops(&self, src: u32, dst: u32) -> u32 {
+        self.xy_path(src, dst).len() as u32
+    }
+
+    /// Opens a wormhole connection at `t`, claiming every link on the XY
+    /// path (in order — the worm advances hop by hop, waiting at each
+    /// held link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range or `src == dst`, or if any
+    /// link on the path is held by a connection whose close is not yet
+    /// recorded.
+    pub fn open(&mut self, src: u32, dst: u32, t: Time) -> MeshConnection {
+        let n = self.config.nodes();
+        assert!(src < n && dst < n, "node out of range");
+        assert_ne!(src, dst, "connection needs two distinct nodes");
+        self.opens += 1;
+        let path = self.xy_path(src, dst);
+        let mut cursor = t;
+        for link in &path {
+            // Route flit decode at this hop.
+            cursor += self.config.wire.byte_time + self.config.hop_time;
+            let free = self.free_at.get(link).copied().unwrap_or(Time::ZERO);
+            assert!(
+                free != Time::MAX,
+                "link {link:?} held by an open connection; record its close first"
+            );
+            if free > cursor {
+                self.conflicts += 1;
+                cursor = free;
+            }
+            self.free_at.insert(*link, Time::MAX);
+        }
+        let head_latency = self.config.wire.latency * path.len() as u64;
+        MeshConnection {
+            ready_at: cursor,
+            byte_time: self.config.wire.byte_time,
+            head_latency,
+            path,
+            closed: false,
+        }
+    }
+
+    /// Route commands that waited on a held link.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Connections opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+impl MeshConnection {
+    /// When the connection became usable for payload.
+    pub fn ready_at(&self) -> Time {
+        self.ready_at
+    }
+
+    /// Hops held by this connection.
+    pub fn hops(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Streams `bytes` starting at `start`; returns last-byte arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is closed.
+    pub fn transfer(&self, start: Time, bytes: u64) -> Time {
+        assert!(!self.closed, "transfer on closed connection");
+        start.max(self.ready_at) + self.byte_time * bytes + self.head_latency
+    }
+
+    /// Records the close at `t`, releasing every link on the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double close.
+    pub fn close(&mut self, mesh: &mut Mesh, t: Time) {
+        assert!(!self.closed, "double close");
+        self.closed = true;
+        let mut cursor = t + self.byte_time;
+        for link in &self.path {
+            mesh.free_at.insert(*link, cursor);
+            cursor += self.byte_time;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4x4() -> Mesh {
+        Mesh::new(MeshConfig::powermanna_parts(4, 4))
+    }
+
+    #[test]
+    fn xy_path_lengths() {
+        let m = mesh4x4();
+        assert_eq!(m.hops(0, 3), 3); // along a row
+        assert_eq!(m.hops(0, 12), 3); // along a column
+        assert_eq!(m.hops(0, 15), 6); // corner to corner
+        assert_eq!(m.hops(5, 6), 1); // neighbours
+    }
+
+    #[test]
+    fn setup_scales_with_hops() {
+        let mut m = mesh4x4();
+        let near = m.open(0, 1, Time::ZERO);
+        let mut far_mesh = mesh4x4();
+        let far = far_mesh.open(0, 15, Time::ZERO);
+        assert!(far.ready_at().as_ps() > near.ready_at().as_ps() * 5);
+        assert_eq!(far.hops(), 6);
+    }
+
+    #[test]
+    fn crossing_connections_block() {
+        // Two row-wise connections sharing the link 1->2.
+        let mut m = mesh4x4();
+        let mut a = m.open(0, 3, Time::ZERO);
+        let done = a.transfer(a.ready_at(), 4096);
+        a.close(&mut m, done);
+        let b = m.open(1, 2, Time::ZERO);
+        assert!(b.ready_at() >= done, "b must wait for a's worm to clear");
+        assert!(m.conflicts() >= 1);
+    }
+
+    #[test]
+    fn disjoint_connections_do_not_block() {
+        let mut m = mesh4x4();
+        let a = m.open(0, 1, Time::ZERO);
+        let b = m.open(14, 15, Time::ZERO);
+        assert_eq!(a.ready_at(), b.ready_at());
+        assert_eq!(m.conflicts(), 0);
+    }
+
+    #[test]
+    fn mesh_blocks_more_than_crossbar_on_same_traffic() {
+        // The §3 claim, measured: route 16 random pairs sequentially-in-
+        // time through a 4x4 mesh and through a single 16x16 crossbar
+        // cluster; the mesh accumulates more conflicts.
+        use crate::network::Network;
+        use crate::topology::Topology;
+
+        let mut rng = pm_sim::rng::SimRng::seed_from(99);
+        let mut pairs = Vec::new();
+        while pairs.len() < 16 {
+            let a = rng.gen_range(0, 16) as u32;
+            let b = rng.gen_range(0, 16) as u32;
+            if a != b {
+                pairs.push((a, b));
+            }
+        }
+
+        // Mesh: open, transfer, close, in arrival order.
+        let mut mesh = mesh4x4();
+        let mut mesh_finish = Time::ZERO;
+        for &(a, b) in &pairs {
+            let mut c = mesh.open(a, b, Time::ZERO);
+            let done = c.transfer(c.ready_at(), 2048);
+            c.close(&mut mesh, done);
+            mesh_finish = mesh_finish.max(done);
+        }
+
+        // Crossbar: 16 nodes on one 16x16 crossbar (single plane used).
+        let mut topo = Topology::with_nodes(16);
+        let xb = topo.add_crossbar(crate::crossbar::CrossbarConfig::powermanna());
+        for nid in 0..16 {
+            topo.connect_node(nid, 0, xb, nid as u32, crate::topology::LinkKind::Synchronous);
+        }
+        let mut net = Network::new(topo);
+        let mut xb_finish = Time::ZERO;
+        for &(a, b) in &pairs {
+            let mut c = net.open(a as usize, b as usize, 0, Time::ZERO).expect("route");
+            let done = c.transfer(&mut net, c.ready_at(), 2048);
+            c.close(&mut net, done);
+            xb_finish = xb_finish.max(done);
+        }
+
+        assert!(
+            mesh.conflicts() > net.crossbar(0).conflicts(),
+            "mesh {} conflicts should exceed crossbar {}",
+            mesh.conflicts(),
+            net.crossbar(0).conflicts()
+        );
+        assert!(
+            mesh_finish > xb_finish,
+            "mesh makespan {mesh_finish} should exceed crossbar {xb_finish}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn self_connection_rejected() {
+        mesh4x4().open(3, 3, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_rejected() {
+        mesh4x4().open(0, 16, Time::ZERO);
+    }
+}

@@ -1,0 +1,431 @@
+//! Interconnect topologies (Figure 5 of the paper).
+//!
+//! PowerMANNA nodes carry **two** link interfaces, one per duplicated
+//! network plane. The basic building block is the eight-node cluster of
+//! Figure 5a: eight nodes, two 16x16 crossbars (one per plane), and eight
+//! free asynchronous dual-links per plane for inter-cluster connections.
+//! Larger systems (Figure 5b) join clusters through permutation networks
+//! of further crossbars such that "a logical connection between any two
+//! nodes involves at most only three crossbars".
+//!
+//! The 256-processor builder follows that constraint with a Clos-like
+//! middle stage: each cluster's free ports fan out to 8 middle crossbars
+//! per plane, and every middle crossbar reaches every cluster, so any
+//! node pair routes through cluster-xbar → middle-xbar → cluster-xbar.
+
+use crate::crossbar::CrossbarConfig;
+use std::collections::{HashMap, VecDeque};
+
+/// Index of a node in a topology.
+pub type NodeId = usize;
+/// Index of a crossbar in a topology.
+pub type XbarId = usize;
+
+/// Physical flavour of a link segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LinkKind {
+    /// Clock-synchronous backplane link (within a cabinet).
+    Synchronous,
+    /// Asynchronous transceiver link (between cabinets, ≤30 m).
+    Asynchronous,
+}
+
+/// One end of a link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Endpoint {
+    /// A node's link interface (`link` is 0 or 1 — the network plane).
+    Node {
+        /// Node index.
+        node: NodeId,
+        /// Link interface index (network plane).
+        link: u32,
+    },
+    /// A crossbar port.
+    Xbar {
+        /// Crossbar index.
+        xbar: XbarId,
+        /// Port index on that crossbar.
+        port: u32,
+    },
+}
+
+/// One crossbar traversal on a route.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Hop {
+    /// The crossbar traversed.
+    pub xbar: XbarId,
+    /// Input port the worm enters on.
+    pub in_port: u32,
+    /// Output port the route command selects.
+    pub out_port: u32,
+}
+
+/// A complete route between two nodes on one network plane.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Route {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Network plane used (0 or 1).
+    pub plane: u32,
+    /// Crossbars traversed, in order.
+    pub hops: Vec<Hop>,
+    /// Link kinds of the segments (`hops.len() + 1` entries: node→xbar,
+    /// xbar→xbar…, xbar→node).
+    pub segments: Vec<LinkKind>,
+}
+
+impl Route {
+    /// Number of crossbars on the route.
+    pub fn crossbars(&self) -> usize {
+        self.hops.len()
+    }
+}
+
+/// An interconnect graph: nodes with two link interfaces, crossbars, and
+/// the links between them.
+///
+/// # Examples
+///
+/// ```
+/// use pm_net::topology::Topology;
+///
+/// let t = Topology::cluster8();
+/// assert_eq!(t.nodes(), 8);
+/// assert_eq!(t.crossbars(), 2);
+/// let r = t.route(0, 7, 0).expect("cluster routes exist");
+/// assert_eq!(r.crossbars(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    nodes: usize,
+    xbar_configs: Vec<CrossbarConfig>,
+    /// node -> [plane0 peer, plane1 peer]
+    node_links: Vec<[Option<(XbarId, u32, LinkKind)>; 2]>,
+    /// (xbar, port) -> peer endpoint + link kind
+    xbar_ports: HashMap<(XbarId, u32), (Endpoint, LinkKind)>,
+}
+
+impl Topology {
+    /// Creates an empty topology with `nodes` unconnected nodes.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Topology {
+            nodes,
+            xbar_configs: Vec::new(),
+            node_links: vec![[None, None]; nodes],
+            xbar_ports: HashMap::new(),
+        }
+    }
+
+    /// Adds a crossbar; returns its id.
+    pub fn add_crossbar(&mut self, config: CrossbarConfig) -> XbarId {
+        self.xbar_configs.push(config);
+        self.xbar_configs.len() - 1
+    }
+
+    /// Connects node `node` link interface `link` to crossbar `xbar`
+    /// port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids, on reconnecting a used interface or
+    /// port, or on `link > 1`.
+    pub fn connect_node(
+        &mut self,
+        node: NodeId,
+        link: u32,
+        xbar: XbarId,
+        port: u32,
+        kind: LinkKind,
+    ) {
+        assert!(node < self.nodes, "node out of range");
+        assert!(link < 2, "nodes have exactly two link interfaces");
+        assert!(xbar < self.xbar_configs.len(), "crossbar out of range");
+        assert!(port < self.xbar_configs[xbar].ports, "port out of range");
+        assert!(
+            self.node_links[node][link as usize].is_none(),
+            "node link already connected"
+        );
+        assert!(
+            !self.xbar_ports.contains_key(&(xbar, port)),
+            "crossbar port already connected"
+        );
+        self.node_links[node][link as usize] = Some((xbar, port, kind));
+        self.xbar_ports
+            .insert((xbar, port), (Endpoint::Node { node, link }, kind));
+    }
+
+    /// Connects two crossbar ports with a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids or already-connected ports.
+    pub fn connect_xbars(
+        &mut self,
+        a: XbarId,
+        a_port: u32,
+        b: XbarId,
+        b_port: u32,
+        kind: LinkKind,
+    ) {
+        for &(x, p) in &[(a, a_port), (b, b_port)] {
+            assert!(x < self.xbar_configs.len(), "crossbar out of range");
+            assert!(p < self.xbar_configs[x].ports, "port out of range");
+            assert!(
+                !self.xbar_ports.contains_key(&(x, p)),
+                "crossbar port already connected"
+            );
+        }
+        self.xbar_ports
+            .insert((a, a_port), (Endpoint::Xbar { xbar: b, port: b_port }, kind));
+        self.xbar_ports
+            .insert((b, b_port), (Endpoint::Xbar { xbar: a, port: a_port }, kind));
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of crossbars.
+    pub fn crossbars(&self) -> usize {
+        self.xbar_configs.len()
+    }
+
+    /// Configuration of crossbar `xbar`.
+    pub fn crossbar_config(&self, xbar: XbarId) -> CrossbarConfig {
+        self.xbar_configs[xbar]
+    }
+
+    /// Computes the shortest route from `src` to `dst` on network plane
+    /// `plane` (0 or 1), breadth-first over crossbars.
+    ///
+    /// Returns `None` if the nodes are not connected on that plane or if
+    /// `src == dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId, plane: u32) -> Option<Route> {
+        if src == dst || src >= self.nodes || dst >= self.nodes || plane > 1 {
+            return None;
+        }
+        let (first_xbar, first_port, first_kind) = self.node_links[src][plane as usize]?;
+        let (dst_xbar, dst_port, dst_kind) = self.node_links[dst][plane as usize]?;
+
+        // BFS over (xbar, entry port).
+        let mut prev: HashMap<XbarId, (XbarId, u32, u32, LinkKind)> = HashMap::new();
+        let mut visited = vec![false; self.xbar_configs.len()];
+        let mut queue = VecDeque::new();
+        visited[first_xbar] = true;
+        queue.push_back((first_xbar, first_port));
+        let mut entry_port: HashMap<XbarId, u32> = HashMap::new();
+        entry_port.insert(first_xbar, first_port);
+
+        let mut found = first_xbar == dst_xbar;
+        while let Some((x, _in_port)) = queue.pop_front() {
+            if x == dst_xbar {
+                found = true;
+                break;
+            }
+            for p in 0..self.xbar_configs[x].ports {
+                if let Some(&(Endpoint::Xbar { xbar: nx, port: np }, kind)) =
+                    self.xbar_ports.get(&(x, p))
+                {
+                    if !visited[nx] {
+                        visited[nx] = true;
+                        prev.insert(nx, (x, p, np, kind));
+                        entry_port.insert(nx, np);
+                        queue.push_back((nx, np));
+                    }
+                }
+            }
+        }
+        if !found {
+            return None;
+        }
+
+        // Reconstruct the hop chain from dst_xbar back to first_xbar.
+        let mut hops_rev = Vec::new();
+        let mut segments_rev = vec![dst_kind];
+        let mut cur = dst_xbar;
+        let mut cur_out = dst_port;
+        loop {
+            let in_p = entry_port[&cur];
+            hops_rev.push(Hop {
+                xbar: cur,
+                in_port: in_p,
+                out_port: cur_out,
+            });
+            if cur == first_xbar {
+                break;
+            }
+            let (px, pout, _pin, kind) = prev[&cur];
+            segments_rev.push(kind);
+            cur_out = pout;
+            cur = px;
+        }
+        segments_rev.push(first_kind);
+        hops_rev.reverse();
+        segments_rev.reverse();
+        Some(Route {
+            src,
+            dst,
+            plane,
+            hops: hops_rev,
+            segments: segments_rev,
+        })
+    }
+
+    /// The eight-node cluster of Figure 5a: two crossbars (one per plane),
+    /// node `i` on port `i` of each; ports 8–15 of each crossbar stay free
+    /// for asynchronous inter-cluster dual-links.
+    pub fn cluster8() -> Self {
+        let mut t = Topology::with_nodes(8);
+        let x0 = t.add_crossbar(CrossbarConfig::powermanna());
+        let x1 = t.add_crossbar(CrossbarConfig::powermanna());
+        for n in 0..8 {
+            t.connect_node(n, 0, x0, n as u32, LinkKind::Synchronous);
+            t.connect_node(n, 1, x1, n as u32, LinkKind::Synchronous);
+        }
+        t
+    }
+
+    /// A minimal two-node topology through one crossbar per plane — the
+    /// configuration the communication microbenchmarks (Figures 9–12) run
+    /// on.
+    pub fn two_nodes() -> Self {
+        let mut t = Topology::with_nodes(2);
+        let x0 = t.add_crossbar(CrossbarConfig::powermanna());
+        let x1 = t.add_crossbar(CrossbarConfig::powermanna());
+        for n in 0..2 {
+            t.connect_node(n, 0, x0, n as u32, LinkKind::Synchronous);
+            t.connect_node(n, 1, x1, n as u32, LinkKind::Synchronous);
+        }
+        t
+    }
+
+    /// The 256-processor system of Figure 5b: 16 eight-node clusters
+    /// (128 dual-processor nodes) joined per plane by 8 middle crossbars,
+    /// every middle crossbar reaching every cluster over an asynchronous
+    /// dual-link. Any route crosses at most three crossbars.
+    pub fn system256() -> Self {
+        const CLUSTERS: usize = 16;
+        let mut t = Topology::with_nodes(CLUSTERS * 8);
+        // Per cluster, per plane: one cluster crossbar.
+        let mut cluster_xbar = vec![[0usize; 2]; CLUSTERS];
+        for (c, xb) in cluster_xbar.iter_mut().enumerate() {
+            for (plane, slot) in xb.iter_mut().enumerate() {
+                let x = t.add_crossbar(CrossbarConfig::powermanna());
+                *slot = x;
+                for local in 0..8 {
+                    t.connect_node(c * 8 + local, plane as u32, x, local as u32, LinkKind::Synchronous);
+                }
+            }
+        }
+        // Per plane: 8 middle crossbars, each with one port per cluster.
+        for plane in 0..2 {
+            for m in 0..8u32 {
+                let mid = t.add_crossbar(CrossbarConfig::powermanna());
+                for (c, xb) in cluster_xbar.iter().enumerate() {
+                    // Cluster crossbar free ports are 8..16.
+                    t.connect_xbars(xb[plane], 8 + m, mid, c as u32, LinkKind::Asynchronous);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster8_single_crossbar_routes() {
+        let t = Topology::cluster8();
+        for plane in 0..2 {
+            let r = t.route(1, 6, plane).expect("route");
+            assert_eq!(r.crossbars(), 1);
+            assert_eq!(r.hops[0].in_port, 1);
+            assert_eq!(r.hops[0].out_port, 6);
+            assert_eq!(r.segments, vec![LinkKind::Synchronous; 2]);
+        }
+    }
+
+    #[test]
+    fn route_to_self_is_none() {
+        let t = Topology::cluster8();
+        assert!(t.route(3, 3, 0).is_none());
+    }
+
+    #[test]
+    fn planes_are_disjoint() {
+        let t = Topology::cluster8();
+        let r0 = t.route(0, 1, 0).unwrap();
+        let r1 = t.route(0, 1, 1).unwrap();
+        assert_ne!(r0.hops[0].xbar, r1.hops[0].xbar);
+    }
+
+    #[test]
+    fn system256_has_128_nodes_and_48_crossbars() {
+        let t = Topology::system256();
+        assert_eq!(t.nodes(), 128);
+        // 16 clusters x 2 planes + 8 middle x 2 planes = 48.
+        assert_eq!(t.crossbars(), 48);
+    }
+
+    #[test]
+    fn system256_intra_cluster_is_one_hop() {
+        let t = Topology::system256();
+        let r = t.route(0, 7, 0).expect("intra-cluster route");
+        assert_eq!(r.crossbars(), 1);
+    }
+
+    #[test]
+    fn system256_any_pair_at_most_three_crossbars() {
+        // The paper: "a logical connection between any two nodes involves
+        // at most only three crossbars". Sample pairs across clusters.
+        let t = Topology::system256();
+        for &(a, b) in &[(0usize, 127usize), (0, 8), (5, 90), (63, 64), (17, 113)] {
+            for plane in 0..2 {
+                let r = t.route(a, b, plane).expect("route");
+                assert!(
+                    r.crossbars() <= 3,
+                    "route {a}->{b} plane {plane} uses {} crossbars",
+                    r.crossbars()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn system256_intercluster_uses_async_segment() {
+        let t = Topology::system256();
+        let r = t.route(0, 127, 0).unwrap();
+        assert!(r.segments.contains(&LinkKind::Asynchronous));
+        assert_eq!(r.crossbars(), 3);
+    }
+
+    #[test]
+    fn disconnected_nodes_route_none() {
+        let mut t = Topology::with_nodes(2);
+        let x = t.add_crossbar(CrossbarConfig::powermanna());
+        t.connect_node(0, 0, x, 0, LinkKind::Synchronous);
+        // Node 1 never connected on plane 0.
+        assert!(t.route(0, 1, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut t = Topology::with_nodes(2);
+        let x = t.add_crossbar(CrossbarConfig::powermanna());
+        t.connect_node(0, 0, x, 0, LinkKind::Synchronous);
+        t.connect_node(1, 0, x, 0, LinkKind::Synchronous);
+    }
+
+    #[test]
+    fn route_respects_plane_argument_bounds() {
+        let t = Topology::cluster8();
+        assert!(t.route(0, 1, 2).is_none());
+        assert!(t.route(0, 99, 0).is_none());
+    }
+}

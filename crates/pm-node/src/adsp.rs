@@ -1,0 +1,269 @@
+//! The ADSP multi-master bus switch (§2, Figure 2).
+//!
+//! "Instead of conventional address and data buses, the node architecture
+//! features an integrated implementation of a multi master bus switch to
+//! which all devices are connected. … A single ADSP (address data path
+//! switch) chip contains a 36-bit slice of a three-way bus switch" and
+//! eleven slices form the full-width switch.
+//!
+//! The timing consequence — per-master point-to-point data paths — is used
+//! by `pm-mem`'s bus model; this module provides the structural switch
+//! itself: ports, slice widths, and connection scheduling with per-port
+//! occupancy, which the 4-CPU scaling ablation (experiment X1) exercises.
+
+use pm_sim::resource::Resource;
+use pm_sim::time::{Duration, Time};
+
+/// A device port on the switch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Port {
+    /// A processor module (0-based index).
+    Cpu(u8),
+    /// The node memory.
+    Memory,
+    /// A link interface (0 or 1).
+    LinkInterface(u8),
+    /// The optional PCI bridge.
+    Pci,
+}
+
+/// A scheduled transfer through the switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// When both ports were granted and data started moving.
+    pub start: Time,
+    /// When the last beat arrived.
+    pub done: Time,
+}
+
+/// The multi-master switch: each port owns an independent path; a
+/// transfer occupies exactly its two endpoint ports, so disjoint pairs
+/// proceed in parallel — the property a shared bus lacks.
+///
+/// # Examples
+///
+/// ```
+/// use pm_node::adsp::{AdspSwitch, Port};
+/// use pm_sim::time::Time;
+///
+/// let mut sw = AdspSwitch::powermanna();
+/// // CPU0<->Memory and CPU1<->Link transfers overlap completely.
+/// let a = sw.transfer(Port::Cpu(0), Port::Memory, 64, Time::ZERO);
+/// let b = sw.transfer(Port::Cpu(1), Port::LinkInterface(0), 64, Time::ZERO);
+/// assert_eq!(a.start, b.start);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdspSwitch {
+    slices: u32,
+    slice_bits: u32,
+    beat: Duration,
+    ports: Vec<(Port, Resource)>,
+    transfers: u64,
+}
+
+impl AdspSwitch {
+    /// The PowerMANNA switch: 11 slices x 36 bits at the 60 MHz board
+    /// clock, with ports for two CPUs, memory, two link interfaces and
+    /// the PCI bridge.
+    pub fn powermanna() -> Self {
+        Self::new(
+            11,
+            36,
+            Duration::from_ps(16_667),
+            &[
+                Port::Cpu(0),
+                Port::Cpu(1),
+                Port::Memory,
+                Port::LinkInterface(0),
+                Port::LinkInterface(1),
+                Port::Pci,
+            ],
+        )
+    }
+
+    /// A switch sized for the four-CPU node variant of the design study
+    /// the paper cites (§2: "the actual node design would support up to
+    /// four processors").
+    pub fn four_cpu() -> Self {
+        Self::new(
+            11,
+            36,
+            Duration::from_ps(16_667),
+            &[
+                Port::Cpu(0),
+                Port::Cpu(1),
+                Port::Cpu(2),
+                Port::Cpu(3),
+                Port::Memory,
+                Port::LinkInterface(0),
+                Port::LinkInterface(1),
+            ],
+        )
+    }
+
+    /// Creates a switch with explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices`, `slice_bits` or the port list are empty, or if
+    /// a port is listed twice.
+    pub fn new(slices: u32, slice_bits: u32, beat: Duration, ports: &[Port]) -> Self {
+        assert!(slices > 0 && slice_bits > 0, "switch needs slices");
+        assert!(!ports.is_empty(), "switch needs ports");
+        let mut seen = Vec::new();
+        for p in ports {
+            assert!(!seen.contains(p), "duplicate port {p:?}");
+            seen.push(*p);
+        }
+        AdspSwitch {
+            slices,
+            slice_bits,
+            beat,
+            ports: ports.iter().map(|&p| (p, Resource::new())).collect(),
+            transfers: 0,
+        }
+    }
+
+    /// Total path width in bits (slices x bits per slice).
+    pub fn width_bits(&self) -> u32 {
+        self.slices * self.slice_bits
+    }
+
+    /// Data bits per beat available for payload (the 36-bit slices carry
+    /// 32 data bits + 4 parity/tag bits; 8 slices form the 64-bit + check
+    /// data path, the rest carry the 40-bit address and control tags —
+    /// modelled as a 64-bit payload path).
+    pub fn payload_bits(&self) -> u32 {
+        64
+    }
+
+    /// Schedules a transfer of `bytes` between two ports at `t`.
+    ///
+    /// Both endpoint ports are held for the duration; other port pairs
+    /// are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is unknown or if `a == b`.
+    pub fn transfer(&mut self, a: Port, b: Port, bytes: u32, t: Time) -> Transfer {
+        assert!(a != b, "transfer needs two distinct ports");
+        let beats = (bytes as u64 * 8).div_ceil(self.payload_bits() as u64);
+        let occupancy = self.beat * beats.max(1);
+        let fa = self.port_resource(a).next_free();
+        let fb = self.port_resource(b).next_free();
+        let start = t.max(fa).max(fb);
+        // Acquire both ports from the common start.
+        let _ = self.port_resource(a).acquire(start, occupancy);
+        let _ = self.port_resource(b).acquire(start, occupancy);
+        self.transfers += 1;
+        Transfer {
+            start,
+            done: start + occupancy,
+        }
+    }
+
+    /// Number of transfers scheduled.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Resets all ports to idle.
+    pub fn reset(&mut self) {
+        for (_, r) in &mut self.ports {
+            r.reset();
+        }
+        self.transfers = 0;
+    }
+
+    fn port_resource(&mut self, p: Port) -> &mut Resource {
+        self.ports
+            .iter_mut()
+            .find(|(q, _)| *q == p)
+            .map(|(_, r)| r)
+            .unwrap_or_else(|| panic!("unknown port {p:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        let sw = AdspSwitch::powermanna();
+        assert_eq!(sw.width_bits(), 11 * 36);
+        assert_eq!(sw.payload_bits(), 64);
+    }
+
+    #[test]
+    fn disjoint_pairs_overlap() {
+        let mut sw = AdspSwitch::powermanna();
+        let a = sw.transfer(Port::Cpu(0), Port::Memory, 64, Time::ZERO);
+        let b = sw.transfer(Port::Cpu(1), Port::LinkInterface(1), 64, Time::ZERO);
+        assert_eq!(a.start, Time::ZERO);
+        assert_eq!(b.start, Time::ZERO);
+    }
+
+    #[test]
+    fn shared_port_serialises() {
+        let mut sw = AdspSwitch::powermanna();
+        let a = sw.transfer(Port::Cpu(0), Port::Memory, 64, Time::ZERO);
+        let b = sw.transfer(Port::Cpu(1), Port::Memory, 64, Time::ZERO);
+        assert_eq!(b.start, a.done, "memory port must serialise");
+    }
+
+    #[test]
+    fn transfer_duration_follows_width() {
+        let mut sw = AdspSwitch::powermanna();
+        // 64 bytes over a 64-bit path = 8 beats at 16.667 ns.
+        let tr = sw.transfer(Port::Cpu(0), Port::Memory, 64, Time::ZERO);
+        let ns = tr.done.since(tr.start).as_ns_f64();
+        assert!((132.0..135.0).contains(&ns), "64-byte transfer {ns:.1} ns");
+    }
+
+    #[test]
+    fn four_cpu_variant_has_more_ports() {
+        let mut sw = AdspSwitch::four_cpu();
+        // All four CPUs can hit the link interfaces / memory disjointly…
+        let a = sw.transfer(Port::Cpu(0), Port::Memory, 8, Time::ZERO);
+        let b = sw.transfer(Port::Cpu(1), Port::LinkInterface(0), 8, Time::ZERO);
+        let c = sw.transfer(Port::Cpu(2), Port::LinkInterface(1), 8, Time::ZERO);
+        assert_eq!(a.start, b.start);
+        assert_eq!(b.start, c.start);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct ports")]
+    fn self_transfer_panics() {
+        let mut sw = AdspSwitch::powermanna();
+        sw.transfer(Port::Memory, Port::Memory, 8, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown port")]
+    fn unknown_port_panics() {
+        let mut sw = AdspSwitch::powermanna();
+        sw.transfer(Port::Cpu(7), Port::Memory, 8, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate port")]
+    fn duplicate_ports_rejected() {
+        AdspSwitch::new(
+            1,
+            36,
+            Duration::from_ns(16),
+            &[Port::Memory, Port::Memory],
+        );
+    }
+
+    #[test]
+    fn reset_frees_ports() {
+        let mut sw = AdspSwitch::powermanna();
+        sw.transfer(Port::Cpu(0), Port::Memory, 4096, Time::ZERO);
+        sw.reset();
+        let tr = sw.transfer(Port::Cpu(1), Port::Memory, 8, Time::ZERO);
+        assert_eq!(tr.start, Time::ZERO);
+        assert_eq!(sw.transfers(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The message checksum the link-interface ASIC computes.
+//!
+//! §3.3: "In addition to the protocol conversion, the link-interface chip
+//! performs generation and checking of a CRC check sum, ensuring that
+//! communication is not only efficient but also reliable." We use
+//! CRC-16/CCITT (polynomial 0x1021), a typical choice for byte-serial
+//! links of the era.
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, initial value 0xFFFF.
+///
+/// # Examples
+///
+/// ```
+/// use pm_node::crc::crc16;
+///
+/// // The classic check value for "123456789".
+/// assert_eq!(crc16(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut c = Crc16::new();
+    c.update(data);
+    c.finish()
+}
+
+/// Incremental CRC-16 state, as the ASIC computes it byte by byte while
+/// the message streams through the link interface.
+///
+/// # Examples
+///
+/// ```
+/// use pm_node::crc::{crc16, Crc16};
+///
+/// let mut c = Crc16::new();
+/// c.update(b"1234");
+/// c.update(b"56789");
+/// assert_eq!(c.finish(), crc16(b"123456789"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc16 {
+    state: u16,
+}
+
+impl Default for Crc16 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc16 {
+    /// Creates the initial state (0xFFFF).
+    pub fn new() -> Self {
+        Crc16 { state: 0xFFFF }
+    }
+
+    /// Feeds bytes through the register.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state ^= (b as u16) << 8;
+            for _ in 0..8 {
+                if self.state & 0x8000 != 0 {
+                    self.state = (self.state << 1) ^ 0x1021;
+                } else {
+                    self.state <<= 1;
+                }
+            }
+        }
+    }
+
+    /// Returns the checksum.
+    pub fn finish(self) -> u16 {
+        self.state
+    }
+
+    /// Verifies `data` against an expected checksum.
+    pub fn verify(data: &[u8], expected: u16) -> bool {
+        crc16(data) == expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_message_is_initial_state() {
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut inc = Crc16::new();
+        for chunk in data.chunks(7) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), crc16(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"powermanna message payload".to_vec();
+        let good = crc16(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc16(&bad), good, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_transpositions() {
+        let a = crc16(b"ab");
+        let b = crc16(b"ba");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let msg = b"eight bytes and more";
+        let sum = crc16(msg);
+        assert!(Crc16::verify(msg, sum));
+        assert!(!Crc16::verify(msg, sum ^ 1));
+    }
+}

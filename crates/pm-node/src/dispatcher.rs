@@ -1,0 +1,284 @@
+//! The central PowerMANNA dispatcher (§2, Figure 3).
+//!
+//! "A single central control unit — the dispatcher — handles all the
+//! complexity of the MPC620's control signals and protocols and provides a
+//! simplified interface to all other node devices. … Pipelining, split
+//! transactions, intervention, out-of-order bus-transfer completion as
+//! well as the snoop protocols are kept transparent to the other units."
+//!
+//! The dispatcher here manages *transaction tags*: the MPC620 protocol
+//! allows a bounded number of tagged transactions in flight, completing
+//! out of order. Requesting a tag when all are in flight stalls the
+//! master — a second-order effect on top of the phase timing already in
+//! `pm-mem`, visible when a node streams misses at full rate.
+
+use pm_sim::time::{Duration, Time};
+
+/// Bus transaction kinds the dispatcher tracks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransactionKind {
+    /// Read (load miss).
+    Read,
+    /// Read-with-intent-to-modify (store miss).
+    ReadExclusive,
+    /// Address-only upgrade.
+    Upgrade,
+    /// Dirty-line write-back.
+    WriteBack,
+    /// Cache-to-cache intervention push.
+    Intervention,
+}
+
+/// Dispatcher configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatcherConfig {
+    /// Simultaneously outstanding tagged transactions the protocol allows.
+    pub tags: u32,
+    /// Arbitration/grant latency added to each transaction start.
+    pub grant_latency: Duration,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        Self::powermanna()
+    }
+}
+
+impl DispatcherConfig {
+    /// The PowerMANNA dispatcher: 8 outstanding tags, one 60 MHz bus cycle
+    /// of grant latency.
+    pub fn powermanna() -> Self {
+        DispatcherConfig {
+            tags: 8,
+            grant_latency: Duration::from_ps(16_667),
+        }
+    }
+}
+
+/// A granted transaction: its tag and when the grant took effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TagGrant {
+    /// The assigned tag (0-based).
+    pub tag: u32,
+    /// When the transaction may place its address phase.
+    pub granted_at: Time,
+}
+
+/// The dispatcher's tag pool and transaction statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pm_node::dispatcher::{Dispatcher, DispatcherConfig, TransactionKind};
+/// use pm_sim::time::{Duration, Time};
+///
+/// let mut d = Dispatcher::new(DispatcherConfig::powermanna());
+/// let g = d.begin(TransactionKind::Read, Time::ZERO);
+/// d.complete(g.tag, g.granted_at + Duration::from_ns(100));
+/// assert_eq!(d.completed(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dispatcher {
+    config: DispatcherConfig,
+    /// Per-tag completion time; `None` means in flight.
+    tags: Vec<Option<Time>>,
+    started: u64,
+    finished: u64,
+    stalls: u64,
+    by_kind: [u64; 5],
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with all tags free at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured tag count is zero.
+    pub fn new(config: DispatcherConfig) -> Self {
+        assert!(config.tags > 0, "dispatcher needs tags");
+        Dispatcher {
+            tags: vec![Some(Time::ZERO); config.tags as usize],
+            config,
+            started: 0,
+            finished: 0,
+            stalls: 0,
+            by_kind: [0; 5],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DispatcherConfig {
+        self.config
+    }
+
+    /// Begins a transaction at `t`, allocating a tag. If all tags are in
+    /// flight with recorded completions, the grant waits for the earliest
+    /// completion (a stall).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every tag is in flight with *no* completion recorded —
+    /// callers must complete transactions in simulation order.
+    pub fn begin(&mut self, kind: TransactionKind, t: Time) -> TagGrant {
+        self.started += 1;
+        self.by_kind[kind_index(kind)] += 1;
+        // Prefer a tag already free at t.
+        let mut best: Option<(usize, Time)> = None;
+        for (i, slot) in self.tags.iter().enumerate() {
+            if let Some(free_at) = *slot {
+                match best {
+                    Some((_, b)) if b <= free_at => {}
+                    _ => best = Some((i, free_at)),
+                }
+            }
+        }
+        let (idx, free_at) =
+            best.expect("all dispatcher tags in flight without recorded completions");
+        if free_at > t {
+            self.stalls += 1;
+        }
+        let granted_at = t.max(free_at) + self.config.grant_latency;
+        self.tags[idx] = None;
+        TagGrant {
+            tag: idx as u32,
+            granted_at,
+        }
+    }
+
+    /// Records the (possibly out-of-order) completion of `tag` at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or not-in-flight tag.
+    pub fn complete(&mut self, tag: u32, t: Time) {
+        let slot = self
+            .tags
+            .get_mut(tag as usize)
+            .unwrap_or_else(|| panic!("unknown tag {tag}"));
+        assert!(slot.is_none(), "tag {tag} is not in flight");
+        *slot = Some(t);
+        self.finished += 1;
+    }
+
+    /// Transactions begun.
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// Transactions completed.
+    pub fn completed(&self) -> u64 {
+        self.finished
+    }
+
+    /// Grants that had to wait for a tag.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Count of transactions begun with the given kind.
+    pub fn count_of(&self, kind: TransactionKind) -> u64 {
+        self.by_kind[kind_index(kind)]
+    }
+
+    /// Number of tags currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_none()).count()
+    }
+}
+
+fn kind_index(kind: TransactionKind) -> usize {
+    match kind {
+        TransactionKind::Read => 0,
+        TransactionKind::ReadExclusive => 1,
+        TransactionKind::Upgrade => 2,
+        TransactionKind::WriteBack => 3,
+        TransactionKind::Intervention => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NS: Duration = Duration::from_ns(1);
+
+    #[test]
+    fn grants_add_latency() {
+        let mut d = Dispatcher::new(DispatcherConfig::powermanna());
+        let g = d.begin(TransactionKind::Read, Time::ZERO);
+        assert_eq!(g.granted_at, Time::ZERO + DispatcherConfig::powermanna().grant_latency);
+    }
+
+    #[test]
+    fn tags_allow_outstanding_transactions() {
+        let mut d = Dispatcher::new(DispatcherConfig::powermanna());
+        let grants: Vec<_> = (0..8)
+            .map(|_| d.begin(TransactionKind::Read, Time::ZERO))
+            .collect();
+        // All eight got distinct tags without stalling.
+        let mut tags: Vec<u32> = grants.iter().map(|g| g.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 8);
+        assert_eq!(d.stalls(), 0);
+        assert_eq!(d.in_flight(), 8);
+    }
+
+    #[test]
+    fn ninth_transaction_waits_for_a_completion() {
+        let mut d = Dispatcher::new(DispatcherConfig::powermanna());
+        let grants: Vec<_> = (0..8)
+            .map(|_| d.begin(TransactionKind::Read, Time::ZERO))
+            .collect();
+        // Complete tag 3 early, out of order.
+        d.complete(grants[3].tag, Time::from_ps(500_000));
+        let g9 = d.begin(TransactionKind::ReadExclusive, Time::ZERO);
+        assert_eq!(g9.tag, grants[3].tag, "freed tag should be reused");
+        assert!(g9.granted_at >= Time::from_ps(500_000));
+        assert_eq!(d.stalls(), 1);
+    }
+
+    #[test]
+    fn out_of_order_completion_is_legal() {
+        let mut d = Dispatcher::new(DispatcherConfig::powermanna());
+        let a = d.begin(TransactionKind::Read, Time::ZERO);
+        let b = d.begin(TransactionKind::WriteBack, Time::ZERO);
+        // b completes before a — tagged out-of-order completion.
+        d.complete(b.tag, Time::ZERO + NS * 50);
+        d.complete(a.tag, Time::ZERO + NS * 90);
+        assert_eq!(d.completed(), 2);
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn kind_statistics() {
+        let mut d = Dispatcher::new(DispatcherConfig::powermanna());
+        let g0 = d.begin(TransactionKind::Upgrade, Time::ZERO);
+        let g1 = d.begin(TransactionKind::Upgrade, Time::ZERO);
+        let g2 = d.begin(TransactionKind::Intervention, Time::ZERO);
+        assert_eq!(d.count_of(TransactionKind::Upgrade), 2);
+        assert_eq!(d.count_of(TransactionKind::Intervention), 1);
+        assert_eq!(d.count_of(TransactionKind::Read), 0);
+        for g in [g0, g1, g2] {
+            d.complete(g.tag, g.granted_at + NS);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn double_complete_panics() {
+        let mut d = Dispatcher::new(DispatcherConfig::powermanna());
+        let g = d.begin(TransactionKind::Read, Time::ZERO);
+        d.complete(g.tag, Time::ZERO + NS);
+        d.complete(g.tag, Time::ZERO + NS * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without recorded completions")]
+    fn exhausted_pool_without_completions_panics() {
+        let mut d = Dispatcher::new(DispatcherConfig { tags: 2, grant_latency: NS });
+        d.begin(TransactionKind::Read, Time::ZERO);
+        d.begin(TransactionKind::Read, Time::ZERO);
+        d.begin(TransactionKind::Read, Time::ZERO);
+    }
+}

@@ -1,0 +1,251 @@
+//! The memory-mapped register file of a link interface (§3.3).
+//!
+//! "The addressing of the FIFOs and the control registers of the two
+//! link interfaces in a node is memory-mapped, so the CPUs of the SMP
+//! node can provide all the functionality of a powerful NIC by directly
+//! accessing the link interface." This module defines that register
+//! map and decodes CPU accesses against it — the glue between a raw
+//! store/load address and the [`crate::ni`] operations the driver in
+//! `pm-comm` performs.
+
+use core::fmt;
+
+/// Base address of link interface 0 in the node's physical map (the
+/// region above DRAM reserved for devices).
+pub const LINK0_BASE: u64 = 0xF000_0000;
+/// Base address of link interface 1.
+pub const LINK1_BASE: u64 = 0xF000_1000;
+/// Bytes of address space per link interface.
+pub const LINK_SPAN: u64 = 0x1000;
+
+/// Register offsets within one link interface's page.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u64)]
+pub enum NiRegister {
+    /// Write-only: a 64-bit word pushed into the send FIFO.
+    SendData = 0x000,
+    /// Read-only: a 64-bit word popped from the receive FIFO.
+    RecvData = 0x008,
+    /// Read-only: status — send-FIFO free words (bits 0..7), receive-FIFO
+    /// occupied words (bits 8..15), link-up (bit 16), CRC-error latch
+    /// (bit 17).
+    Status = 0x010,
+    /// Write-only: control — bit 0 resets the interface, bit 1 clears the
+    /// CRC-error latch, bit 2 sends the `close` command.
+    Control = 0x018,
+    /// Read-only: the CRC accumulated over the message in flight.
+    CrcValue = 0x020,
+    /// Write-only: route byte(s) to emit ahead of the next message.
+    RouteHeader = 0x028,
+}
+
+impl NiRegister {
+    /// All registers, for iteration.
+    pub const ALL: [NiRegister; 6] = [
+        NiRegister::SendData,
+        NiRegister::RecvData,
+        NiRegister::Status,
+        NiRegister::Control,
+        NiRegister::CrcValue,
+        NiRegister::RouteHeader,
+    ];
+
+    /// Whether the CPU may load from this register.
+    pub fn readable(self) -> bool {
+        matches!(
+            self,
+            NiRegister::RecvData | NiRegister::Status | NiRegister::CrcValue
+        )
+    }
+
+    /// Whether the CPU may store to this register.
+    pub fn writable(self) -> bool {
+        matches!(
+            self,
+            NiRegister::SendData | NiRegister::Control | NiRegister::RouteHeader
+        )
+    }
+
+    /// Offset within the interface page.
+    pub fn offset(self) -> u64 {
+        self as u64
+    }
+}
+
+impl fmt::Display for NiRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NiRegister::SendData => "SEND_DATA",
+            NiRegister::RecvData => "RECV_DATA",
+            NiRegister::Status => "STATUS",
+            NiRegister::Control => "CONTROL",
+            NiRegister::CrcValue => "CRC_VALUE",
+            NiRegister::RouteHeader => "ROUTE_HEADER",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded device access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NiAccess {
+    /// Which of the node's two link interfaces.
+    pub link: u8,
+    /// The register hit.
+    pub register: NiRegister,
+}
+
+/// Errors from decoding an address against the register map.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The address is outside both link-interface pages (ordinary
+    /// memory; not a device access).
+    NotDevice,
+    /// Inside a link page but not a defined register.
+    UnmappedRegister,
+    /// The register exists but not with this access direction.
+    WrongDirection,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NotDevice => f.write_str("address is not in a link-interface page"),
+            DecodeError::UnmappedRegister => f.write_str("no register at this offset"),
+            DecodeError::WrongDirection => {
+                f.write_str("register does not support this access direction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a CPU load (`write = false`) or store (`write = true`)
+/// address against the two link interfaces' register maps.
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+///
+/// # Examples
+///
+/// ```
+/// use pm_node::regs::{decode, NiRegister, LINK0_BASE, LINK1_BASE};
+///
+/// let a = decode(LINK0_BASE, true).expect("send data is writable");
+/// assert_eq!(a.link, 0);
+/// assert_eq!(a.register, NiRegister::SendData);
+///
+/// let s = decode(LINK1_BASE + 0x10, false).expect("status is readable");
+/// assert_eq!(s.link, 1);
+/// assert_eq!(s.register, NiRegister::Status);
+/// ```
+pub fn decode(addr: u64, write: bool) -> Result<NiAccess, DecodeError> {
+    let (link, offset) = if (LINK0_BASE..LINK0_BASE + LINK_SPAN).contains(&addr) {
+        (0u8, addr - LINK0_BASE)
+    } else if (LINK1_BASE..LINK1_BASE + LINK_SPAN).contains(&addr) {
+        (1u8, addr - LINK1_BASE)
+    } else {
+        return Err(DecodeError::NotDevice);
+    };
+    let register = NiRegister::ALL
+        .into_iter()
+        .find(|r| r.offset() == offset)
+        .ok_or(DecodeError::UnmappedRegister)?;
+    let ok = if write {
+        register.writable()
+    } else {
+        register.readable()
+    };
+    if !ok {
+        return Err(DecodeError::WrongDirection);
+    }
+    Ok(NiAccess { link, register })
+}
+
+/// Packs the status word the hardware would return.
+pub fn pack_status(send_free_words: u8, recv_words: u8, link_up: bool, crc_error: bool) -> u64 {
+    u64::from(send_free_words)
+        | (u64::from(recv_words) << 8)
+        | (u64::from(link_up) << 16)
+        | (u64::from(crc_error) << 17)
+}
+
+/// Unpacks a status word into (send free, recv occupied, link up,
+/// CRC-error latch).
+pub fn unpack_status(status: u64) -> (u8, u8, bool, bool) {
+    (
+        (status & 0xFF) as u8,
+        ((status >> 8) & 0xFF) as u8,
+        status & (1 << 16) != 0,
+        status & (1 << 17) != 0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_links_decode() {
+        for (base, link) in [(LINK0_BASE, 0u8), (LINK1_BASE, 1u8)] {
+            for reg in NiRegister::ALL {
+                let addr = base + reg.offset();
+                let dir = reg.writable();
+                let a = decode(addr, dir).expect("mapped register");
+                assert_eq!(a.link, link);
+                assert_eq!(a.register, reg);
+            }
+        }
+    }
+
+    #[test]
+    fn ordinary_memory_is_not_device() {
+        assert_eq!(decode(0x1000, false), Err(DecodeError::NotDevice));
+        assert_eq!(decode(0, true), Err(DecodeError::NotDevice));
+        assert_eq!(
+            decode(LINK0_BASE - 8, true),
+            Err(DecodeError::NotDevice)
+        );
+        assert_eq!(
+            decode(LINK1_BASE + LINK_SPAN, true),
+            Err(DecodeError::NotDevice)
+        );
+    }
+
+    #[test]
+    fn holes_are_unmapped() {
+        assert_eq!(
+            decode(LINK0_BASE + 0x100, false),
+            Err(DecodeError::UnmappedRegister)
+        );
+    }
+
+    #[test]
+    fn directions_enforced() {
+        // Cannot read the send FIFO port, cannot write the status.
+        assert_eq!(
+            decode(LINK0_BASE, false),
+            Err(DecodeError::WrongDirection)
+        );
+        assert_eq!(
+            decode(LINK0_BASE + NiRegister::Status.offset(), true),
+            Err(DecodeError::WrongDirection)
+        );
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        let s = pack_status(32, 7, true, false);
+        assert_eq!(unpack_status(s), (32, 7, true, false));
+        let s2 = pack_status(0, 255, false, true);
+        assert_eq!(unpack_status(s2), (0, 255, false, true));
+    }
+
+    #[test]
+    fn register_names_display() {
+        assert_eq!(format!("{}", NiRegister::SendData), "SEND_DATA");
+        assert_eq!(format!("{}", NiRegister::RouteHeader), "ROUTE_HEADER");
+    }
+}

@@ -1,0 +1,189 @@
+//! A deterministic discrete-event queue.
+//!
+//! The flit-level network simulator in `pm-net` schedules byte movements,
+//! arbitration decisions and flow-control changes as events. Determinism
+//! matters: two events at the same instant pop in insertion order, so a
+//! simulation run is a pure function of its inputs.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a payload that becomes due at an instant.
+#[derive(Clone, Debug)]
+struct Scheduled<E> {
+    due: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with the sequence number as a deterministic tiebreak.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of events with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::event::EventQueue;
+/// use pm_sim::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_ps(20), "late");
+/// q.schedule(Time::from_ps(10), "first");
+/// q.schedule(Time::from_ps(10), "second");
+/// assert_eq!(q.pop(), Some((Time::from_ps(10), "first")));
+/// assert_eq!(q.pop(), Some((Time::from_ps(10), "second")));
+/// assert_eq!(q.pop(), Some((Time::from_ps(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the simulation clock at
+    /// [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current simulation time: the due-time of the most recently popped
+    /// event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `payload` to become due at `due`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due` lies in the past (before the last popped event);
+    /// discrete-event simulations must never schedule backwards.
+    pub fn schedule(&mut self, due: Time, payload: E) {
+        assert!(
+            due >= self.now,
+            "scheduled event in the past: {due} < now {}",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            due,
+            seq: self.next_seq,
+            payload,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Removes and returns the earliest event, advancing [`EventQueue::now`].
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.due;
+        Some((ev.due, ev.payload))
+    }
+
+    /// Returns the due-time of the next event without removing it.
+    pub fn peek_due(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &ps in &[50u64, 10, 30, 20, 40] {
+            q.schedule(Time::from_ps(ps), ps);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ps(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ps(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(10), ());
+        q.pop();
+        q.schedule(Time::from_ps(3), ());
+    }
+
+    #[test]
+    fn peek_and_len_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_due(), None);
+        q.schedule(Time::ZERO + Duration::from_ns(1), 'a');
+        q.schedule(Time::ZERO + Duration::from_ns(2), 'b');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_due(), Some(Time::from_ps(1000)));
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Occupancy-timeline resources for contention modelling.
+//!
+//! The node-level timing models (CPU pipelines, bus address/data phases,
+//! DRAM banks) do not need a full event loop: each shared unit can be
+//! modelled as a *resource* that remembers when it next becomes free.
+//! A request arriving at `t` is serviced at `max(t, next_free)` and holds
+//! the resource for its occupancy. Contention then *emerges* from the
+//! interleaving of requests — exactly how the paper's dispatcher
+//! sequentialises MPC620 address phases while the ADSP switch lets data
+//! phases proceed in parallel.
+
+use crate::time::{Duration, Time};
+
+/// A unit that serves one request at a time (a bus phase, an arbiter
+/// grant, a non-pipelined functional unit).
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::resource::Resource;
+/// use pm_sim::time::{Duration, Time};
+///
+/// let mut addr_phase = Resource::new();
+/// // Two snoop address phases requested at the same instant are
+/// // sequentialised, as the MPC620 bus protocol requires.
+/// let a = addr_phase.acquire(Time::ZERO, Duration::from_ns(17));
+/// let b = addr_phase.acquire(Time::ZERO, Duration::from_ns(17));
+/// assert_eq!(a, Time::ZERO);
+/// assert_eq!(b, Time::from_ps(17_000));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resource {
+    next_free: Time,
+    busy: Duration,
+    grants: u64,
+}
+
+impl Resource {
+    /// Creates a resource that is free from time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests the resource at `t` for `occupancy`; returns the grant
+    /// time (when service actually starts).
+    pub fn acquire(&mut self, t: Time, occupancy: Duration) -> Time {
+        let start = t.max(self.next_free);
+        self.next_free = start + occupancy;
+        self.busy += occupancy;
+        self.grants += 1;
+        start
+    }
+
+    /// The instant at which the resource next becomes free.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Total time the resource has been occupied.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Fraction of `[0, horizon]` during which the resource was occupied.
+    ///
+    /// Returns 0.0 for a zero horizon.
+    pub fn utilization(&self, horizon: Duration) -> f64 {
+        if horizon == Duration::ZERO {
+            0.0
+        } else {
+            self.busy.as_ps() as f64 / horizon.as_ps() as f64
+        }
+    }
+
+    /// Resets the resource to free-at-zero, clearing statistics.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A pipelined unit: new operations may start every `initiation_interval`,
+/// but each takes `latency` to produce its result.
+///
+/// Models the MPC620's pipelined floating-point units and the interleaved
+/// node memory (640 Mbyte/s comes from pipelining across banks, not from
+/// a single fast bank).
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::resource::PipelinedResource;
+/// use pm_sim::time::{Duration, Time};
+///
+/// // FP multiply: issues every cycle, 3-cycle latency (5556 ps cycles).
+/// let cyc = Duration::from_ps(5556);
+/// let mut fpu = PipelinedResource::new(cyc, cyc * 3);
+/// let r0 = fpu.issue(Time::ZERO);
+/// let r1 = fpu.issue(Time::ZERO);
+/// assert_eq!(r0.result_at, Time::ZERO + cyc * 3);
+/// // Second op starts one initiation interval later.
+/// assert_eq!(r1.start, Time::ZERO + cyc);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelinedResource {
+    initiation_interval: Duration,
+    latency: Duration,
+    next_issue: Time,
+    issues: u64,
+}
+
+/// Timing of one operation issued to a [`PipelinedResource`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Issue {
+    /// When the operation entered the pipeline.
+    pub start: Time,
+    /// When its result is available.
+    pub result_at: Time,
+}
+
+impl PipelinedResource {
+    /// Creates a pipeline accepting one operation per `initiation_interval`,
+    /// each completing after `latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency < initiation_interval` (a pipeline cannot finish
+    /// an operation before it could even accept the next one *and* claim to
+    /// be pipelined; use equal values for a single-cycle unit).
+    pub fn new(initiation_interval: Duration, latency: Duration) -> Self {
+        assert!(
+            latency >= initiation_interval,
+            "latency shorter than initiation interval"
+        );
+        PipelinedResource {
+            initiation_interval,
+            latency,
+            next_issue: Time::ZERO,
+            issues: 0,
+        }
+    }
+
+    /// Creates a non-pipelined unit: the next operation can only start
+    /// after the previous result is out.
+    pub fn unpipelined(latency: Duration) -> Self {
+        Self::new(latency, latency)
+    }
+
+    /// Issues an operation at `t`; returns when it starts and when its
+    /// result is ready.
+    pub fn issue(&mut self, t: Time) -> Issue {
+        let start = t.max(self.next_issue);
+        self.next_issue = start + self.initiation_interval;
+        self.issues += 1;
+        Issue {
+            start,
+            result_at: start + self.latency,
+        }
+    }
+
+    /// Number of operations issued so far.
+    pub fn issues(&self) -> u64 {
+        self.issues
+    }
+
+    /// The configured initiation interval.
+    pub fn initiation_interval(&self) -> Duration {
+        self.initiation_interval
+    }
+
+    /// The configured result latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Resets issue state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.next_issue = Time::ZERO;
+        self.issues = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NS: Duration = Duration::from_ns(1);
+
+    #[test]
+    fn resource_serialises_overlapping_requests() {
+        let mut r = Resource::new();
+        let g0 = r.acquire(Time::ZERO, NS * 10);
+        let g1 = r.acquire(Time::from_ps(2_000), NS * 10);
+        let g2 = r.acquire(Time::from_ps(25_000), NS * 10);
+        assert_eq!(g0, Time::ZERO);
+        assert_eq!(g1, Time::from_ps(10_000)); // waited 8 ns
+        assert_eq!(g2, Time::from_ps(25_000)); // no wait, was free
+        assert_eq!(r.grants(), 3);
+        assert_eq!(r.busy_time(), NS * 30);
+    }
+
+    #[test]
+    fn resource_utilization() {
+        let mut r = Resource::new();
+        r.acquire(Time::ZERO, NS * 25);
+        assert!((r.utilization(NS * 100) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn resource_reset_clears_state() {
+        let mut r = Resource::new();
+        r.acquire(Time::ZERO, NS);
+        r.reset();
+        assert_eq!(r.grants(), 0);
+        assert_eq!(r.acquire(Time::ZERO, NS), Time::ZERO);
+    }
+
+    #[test]
+    fn pipeline_overlaps_operations() {
+        let mut p = PipelinedResource::new(NS, NS * 4);
+        let a = p.issue(Time::ZERO);
+        let b = p.issue(Time::ZERO);
+        let c = p.issue(Time::ZERO);
+        assert_eq!(a.result_at, Time::from_ps(4_000));
+        assert_eq!(b.result_at, Time::from_ps(5_000));
+        assert_eq!(c.result_at, Time::from_ps(6_000));
+        assert_eq!(p.issues(), 3);
+    }
+
+    #[test]
+    fn unpipelined_serialises_fully() {
+        let mut p = PipelinedResource::unpipelined(NS * 4);
+        let a = p.issue(Time::ZERO);
+        let b = p.issue(Time::ZERO);
+        assert_eq!(a.result_at, Time::from_ps(4_000));
+        assert_eq!(b.start, Time::from_ps(4_000));
+        assert_eq!(b.result_at, Time::from_ps(8_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "latency shorter")]
+    fn pipeline_rejects_inverted_config() {
+        let _ = PipelinedResource::new(NS * 4, NS);
+    }
+
+    #[test]
+    fn pipeline_idle_gap_resets_timing() {
+        let mut p = PipelinedResource::new(NS, NS * 2);
+        p.issue(Time::ZERO);
+        let late = p.issue(Time::from_ps(50_000));
+        assert_eq!(late.start, Time::from_ps(50_000));
+    }
+}

@@ -1,0 +1,466 @@
+//! Simulated time, durations and clock domains.
+//!
+//! All models in the workspace account time in integer **picoseconds** so
+//! that the three clock domains of the PowerMANNA machine (180 MHz CPU,
+//! 60 MHz node bus, 60 MHz link) compose without rounding drift. A 180 MHz
+//! period is 5555.5̄ ps, which does not fit an integer; [`Clock`] therefore
+//! stores its frequency in kilohertz and converts *cycle counts* to time via
+//! exact integer arithmetic (`cycles * 10^9 / freq_khz`), rounding once per
+//! conversion rather than once per cycle.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in simulated time, in picoseconds since simulation
+/// start.
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::time::{Duration, Time};
+///
+/// let t = Time::ZERO + Duration::from_ns(4);
+/// assert_eq!(t.as_ps(), 4_000);
+/// assert_eq!(format!("{t}"), "4.000ns");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::time::Duration;
+///
+/// let d = Duration::from_us(2) + Duration::from_ns(750);
+/// assert_eq!(d.as_ps(), 2_750_000);
+/// assert!(d > Duration::from_us(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+    /// A time later than any the models produce; used as "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Returns the instant as picoseconds since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant in (fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the instant in (fractional) microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the instant in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulated time never runs
+    /// backwards, so this indicates a model bug.
+    pub fn since(self, earlier: Time) -> Duration {
+        assert!(
+            earlier.0 <= self.0,
+            "time ran backwards: {earlier} > {self}"
+        );
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the
+    /// nearest picosecond.
+    pub fn from_us_f64(us: f64) -> Self {
+        Duration((us * 1e6).round() as u64)
+    }
+
+    /// Returns the duration in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the duration in (fractional) microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction; returns [`Duration::ZERO`] instead of
+    /// underflowing.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        assert!(rhs.0 <= self.0, "duration underflow: {self} - {rhs}");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ps >= 1_000_000_000_000 {
+        write!(f, "{:.3}s", ps as f64 / 1e12)
+    } else if ps >= 1_000_000_000 {
+        write!(f, "{:.3}ms", ps as f64 / 1e9)
+    } else if ps >= 1_000_000 {
+        write!(f, "{:.3}us", ps as f64 / 1e6)
+    } else if ps >= 1_000 {
+        write!(f, "{:.3}ns", ps as f64 / 1e3)
+    } else {
+        write!(f, "{ps}ps")
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time(")?;
+        fmt_ps(self.0, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Duration(")?;
+        fmt_ps(self.0, f)?;
+        write!(f, ")")
+    }
+}
+
+/// A clock domain with an exact rational period.
+///
+/// Frequencies are stored in kilohertz so the 180 MHz CPU clock (period
+/// 5555.5̄ ps) converts cycle counts to picoseconds without per-cycle
+/// rounding error: `time_of_cycle(n) = n * 10^9 / freq_khz` rounded to the
+/// nearest picosecond once.
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::time::Clock;
+///
+/// let link = Clock::from_mhz(60.0);
+/// // One byte per link cycle at 60 MHz is 60 Mbyte/s.
+/// assert_eq!(link.period().as_ns_f64(), 16.667);
+/// assert_eq!(link.cycles_in(pm_sim::time::Duration::from_us(1)), 60);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Clock {
+    freq_khz: u64,
+}
+
+impl Clock {
+    /// Creates a clock from a frequency in megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not positive and finite.
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "invalid clock frequency");
+        Clock {
+            freq_khz: (mhz * 1e3).round() as u64,
+        }
+    }
+
+    /// Creates a clock from a frequency in kilohertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `khz` is zero.
+    pub fn from_khz(khz: u64) -> Self {
+        assert!(khz > 0, "invalid clock frequency");
+        Clock { freq_khz: khz }
+    }
+
+    /// Returns the frequency in megahertz.
+    pub fn mhz(&self) -> f64 {
+        self.freq_khz as f64 / 1e3
+    }
+
+    /// Returns the clock period, rounded to the nearest picosecond.
+    ///
+    /// Prefer [`Clock::time_of_cycle`] when accumulating many cycles.
+    pub fn period(&self) -> Duration {
+        self.duration_of(1)
+    }
+
+    /// Returns the instant at which cycle `n` begins (cycle 0 begins at
+    /// [`Time::ZERO`]).
+    pub fn time_of_cycle(&self, n: u64) -> Time {
+        Time(self.ps_of(n))
+    }
+
+    /// Returns the exact span of `n` cycles, rounded once.
+    pub fn duration_of(&self, n: u64) -> Duration {
+        Duration(self.ps_of(n))
+    }
+
+    /// Returns how many whole cycles of this clock fit in `d`.
+    pub fn cycles_in(&self, d: Duration) -> u64 {
+        // cycles = d_ps * freq_khz / 1e9
+        mul_div(d.0, self.freq_khz, 1_000_000_000)
+    }
+
+    /// Returns the number of whole cycles that have *completed* by instant
+    /// `t`.
+    pub fn cycle_at(&self, t: Time) -> u64 {
+        mul_div(t.0, self.freq_khz, 1_000_000_000)
+    }
+
+    /// Returns the first clock edge at or after `t`.
+    ///
+    /// Used at clock-domain crossings (e.g. bus-clock FIFO to link-clock
+    /// serialiser): data only moves on the destination domain's edge.
+    pub fn next_edge(&self, t: Time) -> Time {
+        let c = self.cycle_at(t);
+        let edge = self.time_of_cycle(c);
+        if edge >= t {
+            edge
+        } else {
+            self.time_of_cycle(c + 1)
+        }
+    }
+
+    fn ps_of(&self, cycles: u64) -> u64 {
+        // ps = cycles * 1e9 / freq_khz, rounded to nearest.
+        mul_div_round(cycles, 1_000_000_000, self.freq_khz)
+    }
+}
+
+/// Computes `a * b / c` without overflow (via u128), truncating.
+fn mul_div(a: u64, b: u64, c: u64) -> u64 {
+    ((a as u128 * b as u128) / c as u128) as u64
+}
+
+/// Computes `a * b / c` without overflow (via u128), rounding to nearest.
+fn mul_div_round(a: u64, b: u64, c: u64) -> u64 {
+    ((a as u128 * b as u128 + c as u128 / 2) / c as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = Time::from_ps(1234);
+        assert_eq!((t + Duration::from_ps(766)).as_ps(), 2000);
+        assert_eq!((t + Duration::from_ns(1)) - t, Duration::from_ns(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn since_panics_on_backwards_time() {
+        let _ = Time::from_ps(1).since(Time::from_ps(2));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_us(1), Duration::from_ns(1000));
+        assert_eq!(Duration::from_ms(1), Duration::from_us(1000));
+        assert_eq!(Duration::from_us_f64(2.75), Duration::from_ps(2_750_000));
+    }
+
+    #[test]
+    fn duration_saturating_sub() {
+        let a = Duration::from_ns(5);
+        let b = Duration::from_ns(9);
+        assert_eq!(a.saturating_sub(b), Duration::ZERO);
+        assert_eq!(b.saturating_sub(a), Duration::from_ns(4));
+    }
+
+    #[test]
+    fn clock_180mhz_has_no_cumulative_drift() {
+        let cpu = Clock::from_mhz(180.0);
+        // 180e6 cycles must be exactly one second.
+        assert_eq!(cpu.time_of_cycle(180_000_000).as_ps(), 1_000_000_000_000);
+        // Individual periods round to 5556 ps but accumulation stays exact.
+        assert_eq!(cpu.period().as_ps(), 5556);
+        assert_eq!(cpu.duration_of(3).as_ps(), 16_667);
+    }
+
+    #[test]
+    fn clock_cycles_in_duration() {
+        let bus = Clock::from_mhz(60.0);
+        assert_eq!(bus.cycles_in(Duration::from_us(1)), 60);
+        assert_eq!(bus.cycles_in(Duration::from_ns(16)), 0);
+        assert_eq!(bus.cycles_in(Duration::from_ns(17)), 1);
+    }
+
+    #[test]
+    fn next_edge_lands_on_grid() {
+        let link = Clock::from_mhz(60.0);
+        let e = link.next_edge(Time::from_ps(1));
+        assert_eq!(e, link.time_of_cycle(1));
+        // An instant exactly on an edge stays put.
+        assert_eq!(link.next_edge(e), e);
+        assert_eq!(link.next_edge(Time::ZERO), Time::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Duration::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", Duration::from_ns(4)), "4.000ns");
+        assert_eq!(format!("{}", Duration::from_us(3)), "3.000us");
+        assert_eq!(format!("{}", Duration::from_ms(7)), "7.000ms");
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = (1..=4).map(Duration::from_ns).sum();
+        assert_eq!(total, Duration::from_ns(10));
+    }
+}

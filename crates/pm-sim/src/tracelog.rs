@@ -1,0 +1,224 @@
+//! A bounded, structured simulation event log.
+//!
+//! Deterministic simulations are debugged by reading what happened, in
+//! order. [`TraceLog`] collects `(time, component, message)` events with
+//! a hard capacity (oldest dropped first), level filtering, and text
+//! rendering. Models take an `Option<&mut TraceLog>` or keep one
+//! internally; the experiment binaries expose `--trace` style dumps from
+//! it.
+
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Event severity/verbosity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Level {
+    /// Per-flit / per-access chatter.
+    Debug,
+    /// State transitions worth reading in a dump.
+    Info,
+    /// Unexpected-but-handled conditions (CRC errors, retries).
+    Warn,
+}
+
+/// One logged event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time of the event.
+    pub at: Time,
+    /// Severity.
+    pub level: Level,
+    /// Emitting component ("ni0", "xbar2", "cpu1", …).
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The bounded log.
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::tracelog::{Level, TraceLog};
+/// use pm_sim::time::Time;
+///
+/// let mut log = TraceLog::new(100, Level::Info);
+/// log.info(Time::from_ps(500), "xbar0", "route 3 -> 9 established");
+/// log.debug(Time::from_ps(600), "xbar0", "flit moved"); // below threshold
+/// assert_eq!(log.len(), 1);
+/// assert!(log.render().contains("route 3 -> 9"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    events: VecDeque<Event>,
+    capacity: usize,
+    threshold: Level,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log keeping at most `capacity` events at or above
+    /// `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, threshold: Level) -> Self {
+        assert!(capacity > 0, "log needs capacity");
+        TraceLog {
+            events: VecDeque::new(),
+            capacity,
+            threshold,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event if it clears the threshold.
+    pub fn record(&mut self, at: Time, level: Level, component: &str, message: impl Into<String>) {
+        if level < self.threshold {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            at,
+            level,
+            component: component.to_string(),
+            message: message.into(),
+        });
+    }
+
+    /// Records a [`Level::Debug`] event.
+    pub fn debug(&mut self, at: Time, component: &str, message: impl Into<String>) {
+        self.record(at, Level::Debug, component, message);
+    }
+
+    /// Records a [`Level::Info`] event.
+    pub fn info(&mut self, at: Time, component: &str, message: impl Into<String>) {
+        self.record(at, Level::Info, component, message);
+    }
+
+    /// Records a [`Level::Warn`] event.
+    pub fn warn(&mut self, at: Time, component: &str, message: impl Into<String>) {
+        self.record(at, Level::Warn, component, message);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Only the events from `component`.
+    pub fn for_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+
+    /// Renders the log as one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "… {} earlier events dropped …", self.dropped);
+        }
+        for e in &self.events {
+            let lvl = match e.level {
+                Level::Debug => "DBG",
+                Level::Info => "INF",
+                Level::Warn => "WRN",
+            };
+            let _ = writeln!(out, "[{:>14}] {lvl} {:<8} {}", format!("{}", e.at), e.component, e.message);
+        }
+        out
+    }
+
+    /// Clears everything, keeping configuration.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> Time {
+        Time::from_ps(ps)
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let mut log = TraceLog::new(10, Level::Info);
+        log.debug(t(1), "a", "chatter");
+        log.info(t(2), "a", "state");
+        log.warn(t(3), "a", "problem");
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut log = TraceLog::new(3, Level::Debug);
+        for i in 0..5u64 {
+            log.info(t(i), "c", format!("event {i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.events().next().unwrap();
+        assert_eq!(first.message, "event 2");
+    }
+
+    #[test]
+    fn component_filter() {
+        let mut log = TraceLog::new(10, Level::Debug);
+        log.info(t(1), "ni0", "push");
+        log.info(t(2), "xbar", "route");
+        log.info(t(3), "ni0", "pop");
+        assert_eq!(log.for_component("ni0").count(), 2);
+        assert_eq!(log.for_component("xbar").count(), 1);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let mut log = TraceLog::new(2, Level::Debug);
+        log.warn(t(1_000_000), "crc", "mismatch on message 7");
+        log.info(t(2_000_000), "ni1", "resumed");
+        log.info(t(3_000_000), "ni1", "drained");
+        let s = log.render();
+        assert!(s.contains("dropped"));
+        assert!(s.contains("resumed"));
+        assert!(s.contains("INF"));
+        assert!(!s.contains("mismatch"), "oldest should be gone");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = TraceLog::new(2, Level::Debug);
+        log.info(t(0), "x", "y");
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        TraceLog::new(0, Level::Debug);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cache-blocked (tiled) MatMult — the road the paper did not take.
+//!
+//! §5.1.1 fixes the naive multiply by transposing `B`; the classic
+//! alternative is *tiling*: processing `T x T` blocks so the working set
+//! of the inner loops stays inside the cache and the TLB reach. This
+//! kernel exists as an ablation (experiment `tiling`): it shows how much
+//! of the naive version's collapse on PowerMANNA was avoidable in
+//! software, which sharpens the paper's hardware story (the long cache
+//! lines punish exactly the codes that do neither transform).
+
+use crate::matmult::MatMult;
+use pm_isa::{Trace, TraceBuilder};
+
+/// A tiled `C = A * B` kernel over row-major matrices with odd strides.
+///
+/// # Examples
+///
+/// ```
+/// use pm_workloads::blocked::BlockedMatMult;
+///
+/// let k = BlockedMatMult::new(64, 16);
+/// let t = k.trace_block_rows(0, 1);
+/// assert!(t.stats().flops > 0);
+/// assert_eq!(k.flops_total(), 2 * 64 * 64 * 64);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockedMatMult {
+    n: usize,
+    tile: usize,
+    stride: usize,
+}
+
+const A_BASE: u64 = 0x1000_0000;
+const B_BASE: u64 = 0x2001_0000;
+const C_BASE: u64 = 0x4003_0000;
+const ELEM: u64 = 8;
+
+impl BlockedMatMult {
+    /// Creates an `n x n` multiply processed in `tile x tile` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `tile` is zero, or if `tile` does not divide `n`
+    /// (ragged edges would complicate the sampling arithmetic without
+    /// adding model fidelity).
+    pub fn new(n: usize, tile: usize) -> Self {
+        assert!(n > 0 && tile > 0, "dimensions must be nonzero");
+        assert!(n.is_multiple_of(tile), "tile must divide the matrix dimension");
+        let stride = if n % 2 == 1 { n } else { n + 1 };
+        BlockedMatMult { n, tile, stride }
+    }
+
+    /// The matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The tile edge.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Total floating-point operations (`2 n^3`).
+    pub fn flops_total(&self) -> u64 {
+        2 * (self.n as u64).pow(3)
+    }
+
+    /// Number of block-rows (`n / tile`).
+    pub fn block_rows(&self) -> usize {
+        self.n / self.tile
+    }
+
+    /// Bytes touched by one `(jj, kk)` tile pair of `B` — the quantity
+    /// that must fit in cache for tiling to work.
+    pub fn tile_working_set(&self) -> u64 {
+        (self.tile * self.tile) as u64 * ELEM
+    }
+
+    /// Emits the trace of block-rows `[bi_begin, bi_end)`: for each, the
+    /// full `jj`/`kk` tile sweep with the `i`-rows of that block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or out-of-range block-row range.
+    pub fn trace_block_rows(&self, bi_begin: usize, bi_end: usize) -> Trace {
+        assert!(
+            bi_begin < bi_end && bi_end <= self.block_rows(),
+            "bad block-row range"
+        );
+        let mut tb = TraceBuilder::new();
+        let n = self.n;
+        let t = self.tile;
+        let stride_b = self.stride as u64 * ELEM;
+        for bi in bi_begin..bi_end {
+            for jj in (0..n).step_by(t) {
+                for kk in (0..n).step_by(t) {
+                    for i in bi * t..(bi + 1) * t {
+                        let a_row = A_BASE + i as u64 * stride_b;
+                        let c_row = C_BASE + i as u64 * stride_b;
+                        for j in jj..jj + t {
+                            // The running C value carries across kk tiles;
+                            // load it, accumulate the tile, store it back.
+                            let mut acc = tb.load(c_row + j as u64 * ELEM, 8);
+                            for k in kk..kk + t {
+                                let a = tb.load(a_row + k as u64 * ELEM, 8);
+                                let b = tb.load(
+                                    B_BASE + k as u64 * stride_b + j as u64 * ELEM,
+                                    8,
+                                );
+                                acc = tb.fmadd(a, b, acc);
+                                tb.branch(0x300, k + 1 != kk + t, None);
+                            }
+                            tb.store(acc, c_row + j as u64 * ELEM, 8);
+                        }
+                    }
+                }
+            }
+        }
+        tb.finish()
+    }
+
+    /// The plain naive kernel at the same size, for side-by-side runs.
+    pub fn naive_equivalent(&self) -> MatMult {
+        MatMult::new(self.n, crate::matmult::MatMultVersion::Naive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_match_the_untiled_multiply() {
+        let k = BlockedMatMult::new(32, 8);
+        let t = k.trace_block_rows(0, k.block_rows());
+        let s = t.stats();
+        // Same fmadd count as untiled; extra C loads per tile pass.
+        assert_eq!(s.flops, 2 * 32 * 32 * 32);
+        let kk_tiles = 32 / 8;
+        assert_eq!(s.stores, (32 * 32 * kk_tiles) as u64);
+    }
+
+    #[test]
+    fn block_rows_partition_the_work() {
+        let k = BlockedMatMult::new(24, 8);
+        let all = k.trace_block_rows(0, 3).stats();
+        let parts: u64 = (0..3)
+            .map(|b| k.trace_block_rows(b, b + 1).stats().instrs)
+            .sum();
+        assert_eq!(all.instrs, parts);
+    }
+
+    #[test]
+    fn tile_addresses_stay_inside_tile_pages() {
+        // Within one (jj, kk) tile, B accesses span at most
+        // tile * stride bytes of B — the locality tiling buys.
+        let k = BlockedMatMult::new(16, 4);
+        let t = k.trace_block_rows(0, 1);
+        let b_addrs: Vec<u64> = t
+            .instrs()
+            .iter()
+            .filter_map(|i| i.mem.map(|m| m.addr.0))
+            .filter(|&a| (0x2001_0000..0x4003_0000).contains(&a))
+            .take(16) // first tile's worth
+            .collect();
+        let min = *b_addrs.iter().min().unwrap();
+        let max = *b_addrs.iter().max().unwrap();
+        assert!(max - min <= 4 * 17 * 8, "tile span {}", max - min);
+    }
+
+    #[test]
+    fn working_set_accounting() {
+        let k = BlockedMatMult::new(128, 32);
+        assert_eq!(k.tile_working_set(), 32 * 32 * 8);
+        assert_eq!(k.block_rows(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile must divide")]
+    fn ragged_tiles_rejected() {
+        BlockedMatMult::new(100, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad block-row range")]
+    fn bad_range_rejected() {
+        BlockedMatMult::new(32, 8).trace_block_rows(4, 5);
+    }
+}

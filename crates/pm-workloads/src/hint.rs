@@ -1,0 +1,364 @@
+//! The HINT benchmark, reimplemented (Gustafson & Snell, HICS'95).
+//!
+//! HINT approximates the integral of `f(x) = (1-x)/(1+x)` over `[0,1]` by
+//! subdividing the interval and bounding the area from inside (lower
+//! bound) and outside (upper bound) with counted squares. The *quality*
+//! of the answer is the reciprocal of the gap between the bounds; because
+//! of the function's self-similarity, quality grows linearly with both
+//! storage and operations — the property that makes HINT scalable.
+//!
+//! The reimplementation runs the real computation over real interval
+//! records (so working-set growth and address patterns are genuine), and
+//! in parallel emits the micro-op trace of the inner loop for the timing
+//! model. One [`Hint::pass`] splits every current interval in two,
+//! doubling memory and quality.
+
+use pm_isa::{Trace, TraceBuilder};
+
+/// Data type the benchmark computes with (Figure 6a vs 6b).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HintType {
+    /// 64-bit floating point.
+    Double,
+    /// Fixed-point integer arithmetic (scaled by 2^30).
+    Int,
+}
+
+/// One interval record: bounds of x and the function values at its ends.
+/// Stored contiguously; 32 bytes for DOUBLE, 16 for INT — the unit the
+/// cache hierarchy sees.
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    x0: f64,
+    x1: f64,
+    f0: f64,
+    f1: f64,
+}
+
+/// The result of one refinement pass.
+#[derive(Clone, Debug)]
+pub struct HintPass {
+    /// Instruction trace of the pass's inner loop.
+    pub trace: Trace,
+    /// Quality after the pass (1 / (upper − lower)).
+    pub quality: f64,
+    /// Working-set bytes after the pass.
+    pub memory_bytes: u64,
+    /// Quality improvements performed in this pass (one per split).
+    pub improvements: u64,
+}
+
+/// The HINT benchmark state.
+///
+/// # Examples
+///
+/// ```
+/// use pm_workloads::hint::{Hint, HintType};
+///
+/// let mut h = Hint::new(HintType::Double);
+/// for _ in 0..6 {
+///     h.pass();
+/// }
+/// // 2^6 intervals: quality ~ 64, integral bracketed.
+/// assert!((h.lower_bound()..=h.upper_bound()).contains(&h.exact()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hint {
+    dtype: HintType,
+    intervals: Vec<Interval>,
+    base_addr: u64,
+    passes: u32,
+}
+
+impl Hint {
+    /// Creates the benchmark with the single interval `[0, 1]`.
+    pub fn new(dtype: HintType) -> Self {
+        Hint {
+            dtype,
+            intervals: vec![Interval {
+                x0: 0.0,
+                x1: 1.0,
+                f0: f(0.0),
+                f1: f(1.0),
+            }],
+            base_addr: 0x1000_0000,
+            passes: 0,
+        }
+    }
+
+    /// The data type under test.
+    pub fn dtype(&self) -> HintType {
+        self.dtype
+    }
+
+    /// Bytes per interval record as laid out in memory.
+    pub fn record_bytes(&self) -> u64 {
+        match self.dtype {
+            HintType::Double => 32,
+            HintType::Int => 16,
+        }
+    }
+
+    /// Current number of intervals.
+    pub fn intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Current working-set size in bytes (old + new generation during a
+    /// pass; steady-state storage after).
+    pub fn memory_bytes(&self) -> u64 {
+        self.intervals.len() as u64 * self.record_bytes()
+    }
+
+    /// Lower bound of the integral from the current subdivision.
+    ///
+    /// `f` is decreasing on `[0,1]`, so the inscribed rectangle of each
+    /// interval uses the right-end value.
+    pub fn lower_bound(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(|iv| (iv.x1 - iv.x0) * iv.f1)
+            .sum()
+    }
+
+    /// Upper bound (circumscribed rectangles, left-end values).
+    pub fn upper_bound(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(|iv| (iv.x1 - iv.x0) * iv.f0)
+            .sum()
+    }
+
+    /// The exact value, `2 ln 2 − 1`.
+    pub fn exact(&self) -> f64 {
+        2.0 * std::f64::consts::LN_2 - 1.0
+    }
+
+    /// Quality of the current answer: `1 / (upper − lower)`.
+    pub fn quality(&self) -> f64 {
+        1.0 / (self.upper_bound() - self.lower_bound())
+    }
+
+    /// Performs one refinement pass: every interval splits at its
+    /// midpoint (the equal-subinterval, largest-removable-error schedule
+    /// HINT follows on this self-similar function). Returns the pass
+    /// trace and bookkeeping.
+    pub fn pass(&mut self) -> HintPass {
+        let rec = self.record_bytes();
+        let old_base = self.base_addr;
+        // Generations ping-pong between two arenas so the addresses the
+        // timing model sees match a real implementation.
+        // The arenas sit 65 MB apart: real allocators do not hand out
+        // blocks that alias perfectly in a direct-mapped L2, so neither
+        // do we (65 MB mod 2 MB = 1 MB — the arenas land in different
+        // halves of the L2).
+        const ARENA_STRIDE: u64 = 65 * 1024 * 1024;
+        let new_base = if self.passes.is_multiple_of(2) {
+            self.base_addr + ARENA_STRIDE
+        } else {
+            self.base_addr - ARENA_STRIDE
+        };
+
+        let mut tb = TraceBuilder::new();
+        let mut next = Vec::with_capacity(self.intervals.len() * 2);
+        for (idx, iv) in self.intervals.iter().enumerate() {
+            let old_addr = old_base + idx as u64 * rec;
+            let new_addr = new_base + (idx as u64 * 2) * rec;
+            emit_split(&mut tb, self.dtype, old_addr, new_addr, rec, idx as u64);
+
+            // The functional computation the trace stands for:
+            let xm = 0.5 * (iv.x0 + iv.x1);
+            let fm = f(xm);
+            next.push(Interval {
+                x0: iv.x0,
+                x1: xm,
+                f0: iv.f0,
+                f1: fm,
+            });
+            next.push(Interval {
+                x0: xm,
+                x1: iv.x1,
+                f0: fm,
+                f1: iv.f1,
+            });
+        }
+        let improvements = self.intervals.len() as u64;
+        self.intervals = next;
+        self.base_addr = new_base;
+        self.passes += 1;
+        HintPass {
+            trace: tb.finish(),
+            quality: self.quality(),
+            memory_bytes: self.memory_bytes(),
+            improvements,
+        }
+    }
+}
+
+/// The integrand.
+fn f(x: f64) -> f64 {
+    (1.0 - x) / (1.0 + x)
+}
+
+/// Emits the micro-ops of one interval split.
+///
+/// DOUBLE: load the record, midpoint (`fadd`, `fmul` by 0.5), evaluate
+/// `f(xm)` (`fadd`, `fadd`, `fdiv`), rectangle-bound updates (`fmadd`s),
+/// store two child records. INT: the fixed-point equivalent with shifts
+/// and an integer divide.
+fn emit_split(
+    tb: &mut TraceBuilder,
+    dtype: HintType,
+    old_addr: u64,
+    new_addr: u64,
+    rec: u64,
+    loop_idx: u64,
+) {
+    match dtype {
+        HintType::Double => {
+            let x0 = tb.load(old_addr, 8);
+            let x1 = tb.load(old_addr + 8, 8);
+            let f0 = tb.load(old_addr + 16, 8);
+            let f1 = tb.load(old_addr + 24, 8);
+            let s = tb.fadd(x0, x1);
+            let xm = tb.fmul(s, s); // * 0.5 constant
+            let num = tb.fadd(xm, xm); // 1 - xm
+            let den = tb.fadd(xm, xm); // 1 + xm
+            let fm = tb.fdiv(num, den);
+            let e0 = tb.fmadd(f0, fm, x0); // bound update left child
+            let e1 = tb.fmadd(fm, f1, x1); // bound update right child
+            tb.store(x0, new_addr, 8);
+            tb.store(xm, new_addr + 8, 8);
+            tb.store(f0, new_addr + 16, 8);
+            tb.store(fm, new_addr + 24, 8);
+            tb.store(xm, new_addr + rec, 8);
+            tb.store(x1, new_addr + rec + 8, 8);
+            tb.store(fm, new_addr + rec + 16, 8);
+            tb.store(f1, new_addr + rec + 24, 8);
+            tb.store(e0, old_addr, 8); // error log write-back
+            let _ = e1;
+        }
+        HintType::Int => {
+            // Fixed-point ports of HINT evaluate the integrand with a
+            // shift-and-multiply reciprocal (Newton step on a table seed)
+            // rather than a hardware divide, so the INT inner loop is
+            // adds and multiplies.
+            let x0 = tb.load(old_addr, 8);
+            let f0 = tb.load(old_addr + 8, 8);
+            let s = tb.iadd(x0, f0);
+            let xm = tb.iadd(s, s); // shift-average
+            let seed = tb.imul(xm, f0); // reciprocal seed lookup + scale
+            let corr = tb.imul(seed, xm); // Newton correction
+            let fm = tb.iadd(seed, corr);
+            let e0 = tb.iadd(fm, x0);
+            tb.store(x0, new_addr, 8);
+            tb.store(fm, new_addr + 8, 8);
+            tb.store(xm, new_addr + rec, 8);
+            tb.store(e0, new_addr + rec + 8, 8);
+        }
+    }
+    // Loop control: index increment and a backward branch, well
+    // predicted except at the pass boundary.
+    let i = tb.reg();
+    let one = tb.reg();
+    let ni = tb.iadd(i, one);
+    tb.branch(0x40, true, Some(ni));
+    let _ = loop_idx;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_bracket_the_exact_integral() {
+        let mut h = Hint::new(HintType::Double);
+        for _ in 0..10 {
+            h.pass();
+            assert!(h.lower_bound() <= h.exact());
+            assert!(h.upper_bound() >= h.exact());
+        }
+    }
+
+    #[test]
+    fn quality_doubles_per_pass() {
+        // On this self-similar integrand, the bound gap halves each pass:
+        // quality after k passes is 2^k.
+        let mut h = Hint::new(HintType::Double);
+        let mut prev = h.quality();
+        for _ in 0..12 {
+            h.pass();
+            let q = h.quality();
+            let ratio = q / prev;
+            assert!(
+                (1.99..2.01).contains(&ratio),
+                "quality ratio per pass {ratio:.4} should be 2"
+            );
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn quality_is_linear_in_memory() {
+        let mut h = Hint::new(HintType::Double);
+        for _ in 0..8 {
+            h.pass();
+        }
+        let q_per_byte = h.quality() / h.memory_bytes() as f64;
+        let mut h2 = Hint::new(HintType::Double);
+        for _ in 0..12 {
+            h2.pass();
+        }
+        let q_per_byte2 = h2.quality() / h2.memory_bytes() as f64;
+        assert!(
+            (q_per_byte / q_per_byte2 - 1.0).abs() < 0.01,
+            "QUIPS-per-byte should be scale-free"
+        );
+    }
+
+    #[test]
+    fn pass_trace_covers_the_working_set() {
+        let mut h = Hint::new(HintType::Double);
+        for _ in 0..6 {
+            h.pass();
+        }
+        let before = h.intervals();
+        let pass = h.pass();
+        assert_eq!(pass.improvements, before as u64);
+        // Each split loads its old record and stores two new ones.
+        let stats = pass.trace.stats();
+        assert_eq!(stats.loads, before as u64 * 4);
+        assert!(stats.stores >= before as u64 * 8);
+        assert!(stats.flops > 0);
+    }
+
+    #[test]
+    fn int_variant_uses_integer_ops() {
+        let mut h = Hint::new(HintType::Int);
+        let pass = h.pass();
+        let stats = pass.trace.stats();
+        assert_eq!(stats.flops, 0);
+        assert!(stats.int_ops > 0);
+        assert_eq!(h.record_bytes(), 16);
+    }
+
+    #[test]
+    fn generations_ping_pong_addresses() {
+        let mut h = Hint::new(HintType::Double);
+        let p1 = h.pass();
+        let p2 = h.pass();
+        let addr_of = |t: &Trace| t.instrs().iter().find_map(|i| i.mem.map(|m| m.addr.0));
+        // Consecutive passes read from different arenas.
+        assert_ne!(addr_of(&p1.trace), addr_of(&p2.trace));
+    }
+
+    #[test]
+    fn memory_grows_geometrically() {
+        let mut h = Hint::new(HintType::Double);
+        let m0 = h.memory_bytes();
+        h.pass();
+        assert_eq!(h.memory_bytes(), m0 * 2);
+        h.pass();
+        assert_eq!(h.memory_bytes(), m0 * 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! A 5-point Jacobi stencil — the paper's missing application study.
+//!
+//! §7: "To show real-application performance, we have to … investigate
+//! to what extent application performance can benefit from caching
+//! communicated data and from the short set up times and low latencies."
+//! The stencil is the canonical SPMD kernel for that question: per
+//! iteration each node sweeps its grid slab (memory-bandwidth-bound
+//! compute) and exchanges one-row halos with its neighbours
+//! (latency-bound communication). Experiment X10 composes this kernel's
+//! trace through the node timing model with the MPI halo times.
+
+use pm_isa::{Trace, TraceBuilder};
+
+/// One node's slab of the global grid.
+///
+/// # Examples
+///
+/// ```
+/// use pm_workloads::stencil::Stencil;
+///
+/// let s = Stencil::new(128, 64);
+/// assert_eq!(s.halo_bytes(), 128 * 8);
+/// let t = s.sweep_rows(0, 4);
+/// assert!(t.stats().flops > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stencil {
+    /// Grid points per row (the full width lives on every node).
+    width: usize,
+    /// Interior rows owned by this node.
+    rows: usize,
+}
+
+const SRC_BASE: u64 = 0x1000_0000;
+const DST_BASE: u64 = 0x3002_0000;
+const ELEM: u64 = 8;
+
+impl Stencil {
+    /// Creates a slab of `rows` interior rows, each `width` points wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `width < 3` (a 5-point
+    /// stencil needs left/right neighbours).
+    pub fn new(width: usize, rows: usize) -> Self {
+        assert!(width >= 3 && rows > 0, "slab too small for a 5-point stencil");
+        Stencil { width, rows }
+    }
+
+    /// Points per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Interior rows on this node.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bytes exchanged with each neighbour per iteration (one row).
+    pub fn halo_bytes(&self) -> u32 {
+        (self.width as u64 * ELEM) as u32
+    }
+
+    /// Floating-point operations per full sweep (4 adds + 1 multiply per
+    /// interior point).
+    pub fn flops_per_sweep(&self) -> u64 {
+        5 * (self.width as u64 - 2) * self.rows as u64
+    }
+
+    /// Working set in bytes (source + destination slabs incl. halo rows).
+    pub fn memory_bytes(&self) -> u64 {
+        2 * (self.rows as u64 + 2) * self.width as u64 * ELEM
+    }
+
+    /// Emits the sweep trace for rows `[row_begin, row_end)` (0-based
+    /// interior rows; the halo rows above/below are read, never written).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or out-of-range row range.
+    pub fn sweep_rows(&self, row_begin: usize, row_end: usize) -> Trace {
+        assert!(
+            row_begin < row_end && row_end <= self.rows,
+            "bad row range"
+        );
+        let mut tb = TraceBuilder::new();
+        let w = self.width as u64;
+        let row_bytes = w * ELEM;
+        for r in row_begin..row_end {
+            // Interior row r sits at storage row r+1 (row 0 is the halo).
+            let up = SRC_BASE + (r as u64) * row_bytes;
+            let mid = SRC_BASE + (r as u64 + 1) * row_bytes;
+            let down = SRC_BASE + (r as u64 + 2) * row_bytes;
+            let out = DST_BASE + (r as u64 + 1) * row_bytes;
+            for c in 1..w - 1 {
+                let n = tb.load(up + c * ELEM, 8);
+                let s = tb.load(down + c * ELEM, 8);
+                let west = tb.load(mid + (c - 1) * ELEM, 8);
+                let east = tb.load(mid + (c + 1) * ELEM, 8);
+                let ns = tb.fadd(n, s);
+                let we = tb.fadd(west, east);
+                let sum = tb.fadd(ns, we);
+                let val = tb.fmul(sum, sum); // * 0.25 constant
+                tb.store(val, out + c * ELEM, 8);
+                tb.branch(0x500, c + 1 != w - 1, None);
+            }
+        }
+        tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_per_point() {
+        let s = Stencil::new(34, 4);
+        let t = s.sweep_rows(0, 4);
+        let stats = t.stats();
+        let points = 32 * 4;
+        assert_eq!(stats.loads, points * 4);
+        assert_eq!(stats.stores, points);
+        assert_eq!(stats.flops, points * 4); // 3 fadd + 1 fmul per point
+    }
+
+    #[test]
+    fn rows_partition() {
+        let s = Stencil::new(16, 6);
+        let whole = s.sweep_rows(0, 6).stats().instrs;
+        let parts: u64 = (0..6).map(|r| s.sweep_rows(r, r + 1).stats().instrs).sum();
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn halo_and_memory_accounting() {
+        let s = Stencil::new(256, 32);
+        assert_eq!(s.halo_bytes(), 2048);
+        assert_eq!(s.memory_bytes(), 2 * 34 * 256 * 8);
+        assert_eq!(s.flops_per_sweep(), 5 * 254 * 32);
+    }
+
+    #[test]
+    fn neighbouring_rows_are_reused() {
+        // Row r's "down" neighbour is row r+1's "mid": consecutive row
+        // sweeps re-touch the same lines, which is the cache behaviour
+        // the experiment depends on.
+        let s = Stencil::new(16, 2);
+        let t0 = s.sweep_rows(0, 1);
+        let t1 = s.sweep_rows(1, 2);
+        let down_of_0: Vec<u64> = t0
+            .instrs()
+            .iter()
+            .filter_map(|i| i.mem.map(|m| m.addr.0))
+            .filter(|&a| a >= SRC_BASE + 2 * 16 * 8 && a < SRC_BASE + 3 * 16 * 8)
+            .collect();
+        let mid_of_1: Vec<u64> = t1
+            .instrs()
+            .iter()
+            .filter_map(|i| i.mem.map(|m| m.addr.0))
+            .filter(|&a| a >= SRC_BASE + 2 * 16 * 8 && a < SRC_BASE + 3 * 16 * 8)
+            .collect();
+        assert!(!down_of_0.is_empty());
+        assert!(mid_of_1.len() > down_of_0.len() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_grid_rejected() {
+        Stencil::new(2, 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! MPI collectives over the PowerMANNA hierarchy (§4): barrier,
+//! broadcast and allreduce times as the job grows from one cluster to
+//! the full 128-node machine, with the intra-/inter-cluster latency
+//! difference visible in the scaling.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example cluster_collectives
+//! ```
+
+use powermanna::comm::config::CommConfig;
+use powermanna::comm::mpi::MpiWorld;
+
+fn main() {
+    let cfg = CommConfig::powermanna();
+
+    println!("MPI collectives over the PowerMANNA network\n");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>14} | {:>9}",
+        "ranks", "barrier [us]", "bcast1K [us]", "allreduce1K [us]", "messages"
+    );
+    for &n in &[2usize, 4, 8, 16, 32, 64, 128] {
+        let mut wb = MpiWorld::new(n, cfg);
+        let barrier = wb.barrier();
+        let mut wc = MpiWorld::new(n, cfg);
+        let bcast = wc.bcast(0, 1024);
+        let mut wa = MpiWorld::new(n, cfg);
+        let allreduce = wa.allreduce(1024);
+        println!(
+            "{:>6} | {:>12.1} {:>12.1} {:>14.1} | {:>9}",
+            n,
+            barrier.as_us_f64(),
+            bcast.as_us_f64(),
+            allreduce.as_us_f64(),
+            wa.messages()
+        );
+    }
+
+    println!("\nWithin one cluster (8 ranks) every hop crosses one crossbar;");
+    println!("beyond that, pairs in different clusters pay the three-crossbar");
+    println!("path of the 256-processor system (Figure 5b):");
+    let mut w = MpiWorld::new(16, cfg);
+    let near = w.p2p_latency(0, 7, 8);
+    let far = w.p2p_latency(0, 8, 8);
+    println!(
+        "  8-byte one-way: intra-cluster {:.2} us, inter-cluster {:.2} us",
+        near.as_us_f64(),
+        far.as_us_f64()
+    );
+}

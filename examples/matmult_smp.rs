@@ -1,0 +1,47 @@
+//! MatMult across machines and sizes: the single-processor MFLOPS of
+//! Figure 7 and the dual-processor speedups of Figure 8, side by side.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example matmult_smp
+//! ```
+
+use powermanna::machine::matmultrun::{measure_single, speedup};
+use powermanna::machine::systems;
+use powermanna::workloads::matmult::MatMultVersion;
+
+fn main() {
+    let sizes = [64usize, 128, 256, 384];
+    let machines = [
+        systems::powermanna(),
+        systems::sun_ultra(),
+        systems::pentium_180(),
+    ];
+
+    println!("MatMult, odd strides (Figures 7 and 8)\n");
+    println!(
+        "{:<12} {:>5} | {:>13} {:>13} | {:>8} {:>8}",
+        "machine", "N", "naive MFLOPS", "trans MFLOPS", "spdup(a)", "spdup(b)"
+    );
+    for sys in &machines {
+        for &n in &sizes {
+            let naive = measure_single(sys, n, MatMultVersion::Naive);
+            let trans = measure_single(sys, n, MatMultVersion::Transposed);
+            let s_naive = speedup(sys, n, MatMultVersion::Naive);
+            let s_trans = speedup(sys, n, MatMultVersion::Transposed);
+            println!(
+                "{:<12} {:>5} | {:>13.1} {:>13.1} | {:>8.2} {:>8.2}",
+                sys.name, n, naive.mflops, trans.mflops, s_naive, s_trans
+            );
+        }
+        println!();
+    }
+    println!("What to look for (the paper's claims):");
+    println!(" - PowerMANNA's dual-CPU speedup stays ~2.0 (ADSP data paths,");
+    println!("   split transactions: no memory-access contention).");
+    println!(" - The naive version collapses once the column walk exceeds the");
+    println!("   TLB reach; PowerMANNA's 64-byte lines waste the most fetch");
+    println!("   bandwidth there (factor ~6 vs transposed at N=384).");
+    println!(" - The transposed version rewards PowerMANNA's long lines and");
+    println!("   2 MB L2: it holds its MFLOPS far past the PC's collapse.");
+}

@@ -1,0 +1,83 @@
+//! Golden regression pins.
+//!
+//! The simulator promises bit-for-bit determinism: every number in the
+//! experiment bundle is a pure function of the source. These tests pin a
+//! handful of exact values so an accidental model change (a latency
+//! constant, a scheduling tweak, an eviction-order bug) cannot slip
+//! through unnoticed. If a change here is *intended*, update the pin and
+//! say why in the commit.
+
+use powermanna::comm::config::CommConfig;
+use powermanna::comm::driver;
+use powermanna::cpu::{Cpu, CpuConfig};
+use powermanna::isa::TraceBuilder;
+use powermanna::mem::{Access, HierarchyConfig, MemorySystem};
+use powermanna::net::network::Network;
+use powermanna::net::topology::Topology;
+use powermanna::node::crc::crc16;
+use powermanna::sim::time::Time;
+
+#[test]
+fn golden_crc() {
+    assert_eq!(crc16(b"123456789"), 0x29B1);
+    assert_eq!(crc16(b"PowerMANNA"), crc16(b"PowerMANNA"));
+    assert_eq!(crc16(&[0u8; 64]), 0xD6DA);
+}
+
+#[test]
+fn golden_cold_miss_latency() {
+    // One cold read on the PowerMANNA node: TLB walk + L1/L2 lookups +
+    // bus address phase + DRAM access + data phase.
+    let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
+    let r = mem.access(0, Access::read(0x1000), Time::ZERO);
+    assert_eq!(r.latency.as_ps(), 292_226);
+}
+
+#[test]
+fn golden_8byte_one_way_latency() {
+    let lat = driver::one_way_latency(&CommConfig::powermanna(), 8);
+    assert_eq!(lat.as_ps(), 2_981_342);
+}
+
+#[test]
+fn golden_route_setup() {
+    let mut net = Network::new(Topology::two_nodes());
+    let conn = net.open(0, 1, 0, Time::ZERO).expect("route");
+    assert_eq!(conn.ready_at().as_ps(), 216_667);
+}
+
+#[test]
+fn golden_small_kernel_cycles() {
+    let mut tb = TraceBuilder::new();
+    let mut acc = tb.reg();
+    for i in 0..64u64 {
+        let a = tb.load(i * 8, 8);
+        acc = tb.fmadd(a, a, acc);
+    }
+    tb.store(acc, 0x8000, 8);
+    let trace = tb.finish();
+
+    let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
+    let mut cpu = Cpu::new(CpuConfig::mpc620());
+    let r = cpu.execute(trace, &mut mem, 0);
+    assert_eq!(r.instrs, 129);
+    assert_eq!(r.flops, 128);
+    // The exact cycle count is part of the determinism contract.
+    assert_eq!(r.cycles, 521);
+}
+
+#[test]
+fn golden_values_stable_across_repeat_runs() {
+    let run = || {
+        let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(2));
+        let mut out = Vec::new();
+        let mut t = Time::ZERO;
+        for i in 0..32u64 {
+            let r = mem.access((i % 2) as usize, Access::write(i * 96), t);
+            t = r.done_at;
+            out.push(r.latency.as_ps());
+        }
+        out
+    };
+    assert_eq!(run(), run());
+}
