@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Local CI gate. Mirrors what the tier-1 verify runs, plus lints.
+# Must pass offline with an empty cargo registry (no external deps).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== test =="
+cargo test --workspace -q
+
+echo "== figure shape checks (quick) =="
+cargo run --release -p pm-bench --bin figures -- --quick --checks
+
+echo "CI OK"

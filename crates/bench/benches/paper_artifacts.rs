@@ -1,12 +1,14 @@
-//! One Criterion benchmark per paper artefact.
+//! One wall-clock benchmark per paper artefact.
 //!
 //! Each bench times the simulation that regenerates (a representative
 //! slice of) one table or figure, so `cargo bench` both exercises every
 //! experiment path and reports how expensive each reproduction is.
-//! The *data* for the figures comes from the `figures` binary; these
-//! benches guard the harness's performance.
+//! The *data* for the figures comes from the `figures` binary (whose
+//! `--time` flag records the full-bundle baseline in
+//! `BENCH_figures.json`); these benches guard the harness's performance
+//! at a finer grain, on the in-repo `tinybench` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pm_bench::tinybench::Runner;
 use pm_comm::baselines::LoggpModel;
 use pm_comm::config::CommConfig;
 use pm_comm::driver;
@@ -20,111 +22,74 @@ use pm_workloads::hint::HintType;
 use pm_workloads::matmult::MatMultVersion;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1/render", |b| {
-        b.iter(|| black_box(systems::table1().to_markdown()))
+fn bench_table1(r: &mut Runner) {
+    r.bench("table1/render", || systems::table1().to_markdown());
+}
+
+fn bench_fig6(r: &mut Runner) {
+    r.bench("fig6/powermanna_double_128k", || {
+        run_hint(&systems::powermanna(), HintType::Double, 128 * 1024)
+    });
+    r.bench("fig6/powermanna_int_128k", || {
+        run_hint(&systems::powermanna(), HintType::Int, 128 * 1024)
     });
 }
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_hint");
-    g.sample_size(10);
-    g.bench_function("powermanna_double_128k", |b| {
-        b.iter(|| {
-            black_box(run_hint(
-                &systems::powermanna(),
-                HintType::Double,
-                128 * 1024,
-            ))
-        })
-    });
-    g.bench_function("powermanna_int_128k", |b| {
-        b.iter(|| black_box(run_hint(&systems::powermanna(), HintType::Int, 128 * 1024)))
-    });
-    g.finish();
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_matmult_single");
-    g.sample_size(10);
+fn bench_fig7(r: &mut Runner) {
     for version in [MatMultVersion::Naive, MatMultVersion::Transposed] {
         let name = match version {
-            MatMultVersion::Naive => "naive_n64",
-            MatMultVersion::Transposed => "transposed_n64",
+            MatMultVersion::Naive => "fig7/naive_n64",
+            MatMultVersion::Transposed => "fig7/transposed_n64",
         };
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(measure_single(&systems::powermanna(), 64, version)))
-        });
+        r.bench(name, || measure_single(&systems::powermanna(), 64, version));
     }
-    g.finish();
 }
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_matmult_dual");
-    g.sample_size(10);
-    g.bench_function("powermanna_dual_n64", |b| {
-        b.iter(|| {
-            black_box(measure_dual(
-                &systems::powermanna(),
-                64,
-                MatMultVersion::Transposed,
-            ))
-        })
+fn bench_fig8(r: &mut Runner) {
+    r.bench("fig8/powermanna_dual_n64", || {
+        measure_dual(&systems::powermanna(), 64, MatMultVersion::Transposed)
     });
-    g.finish();
 }
 
-fn bench_fig9_to_12(c: &mut Criterion) {
+fn bench_fig9_to_12(r: &mut Runner) {
     let cfg = CommConfig::powermanna();
-    let mut g = c.benchmark_group("fig9_12_comm");
-    g.bench_function("fig9_one_way_8b", |b| {
-        b.iter(|| black_box(driver::one_way_latency(&cfg, 8)))
+    r.bench("fig9/one_way_8b", || driver::one_way_latency(&cfg, 8));
+    r.bench("fig10/gap_8b", || driver::gap_at_saturation(&cfg, 8));
+    r.bench("fig11/unidirectional_4k", || {
+        driver::unidirectional_bandwidth(&cfg, 4096)
     });
-    g.bench_function("fig10_gap_8b", |b| {
-        b.iter(|| black_box(driver::gap_at_saturation(&cfg, 8)))
+    r.bench("fig12/bidirectional_4k", || {
+        driver::bidirectional_bandwidth(&cfg, 4096)
     });
-    g.bench_function("fig11_unidirectional_4k", |b| {
-        b.iter(|| black_box(driver::unidirectional_bandwidth(&cfg, 4096)))
+    r.bench("baselines/bip_curve", || {
+        let m = LoggpModel::bip();
+        for n in [8u32, 64, 1024, 65536] {
+            black_box(m.one_way_latency(n));
+            black_box(m.unidirectional_bandwidth(n));
+        }
     });
-    g.bench_function("fig12_bidirectional_4k", |b| {
-        b.iter(|| black_box(driver::bidirectional_bandwidth(&cfg, 4096)))
-    });
-    g.bench_function("baseline_bip_curve", |b| {
-        b.iter(|| {
-            let m = LoggpModel::bip();
-            for n in [8u32, 64, 1024, 65536] {
-                black_box(m.one_way_latency(n));
-                black_box(m.unidirectional_bandwidth(n));
-            }
-        })
-    });
-    g.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.bench_function("x2_route_setup_256cpu", |b| {
-        b.iter(|| {
-            let mut net = Network::new(Topology::system256());
-            let conn = net.open(8, 127, 0, Time::ZERO).expect("route");
-            black_box(conn.ready_at())
-        })
+fn bench_ablations(r: &mut Runner) {
+    r.bench("x2/route_setup_256cpu", || {
+        let mut net = Network::new(Topology::system256());
+        let conn = net.open(8, 127, 0, Time::ZERO).expect("route");
+        conn.ready_at()
     });
-    g.sample_size(10);
-    g.bench_function("x3_fifo_ablation_point", |b| {
-        let cfg = CommConfig::powermanna().with_fifo_factor(4);
-        b.iter(|| black_box(driver::bidirectional_bandwidth(&cfg, 4096)))
+    let cfg = CommConfig::powermanna().with_fifo_factor(4);
+    r.bench("x3/fifo_ablation_point", || {
+        driver::bidirectional_bandwidth(&cfg, 4096)
     });
-    g.finish();
 }
 
-criterion_group!(
-    artifacts,
-    bench_table1,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9_to_12,
-    bench_ablations
-);
-criterion_main!(artifacts);
+fn main() {
+    Runner::header("paper_artifacts");
+    let mut r = Runner::new();
+    bench_table1(&mut r);
+    bench_fig6(&mut r);
+    bench_fig7(&mut r);
+    bench_fig8(&mut r);
+    bench_fig9_to_12(&mut r);
+    bench_ablations(&mut r);
+    black_box(r.samples().len());
+}

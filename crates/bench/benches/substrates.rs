@@ -1,210 +1,179 @@
-//! Criterion benches of the simulator's substrate hot paths: the cache
+//! Wall-clock benches of the simulator's substrate hot paths: the cache
 //! hierarchy, the DRAM model, the CPU engine, the crossbar and the CRC.
 //! These are the loops every experiment spends its time in.
+//!
+//! Built on the in-repo `tinybench` harness (no Criterion — see the
+//! build policy in DESIGN.md). Run with `cargo bench -p pm-bench`;
+//! tune the per-bench time budget with `PM_BENCH_BUDGET_MS`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pm_bench::tinybench::Runner;
+use pm_comm::config::CommConfig;
+use pm_comm::earth::{run_fibers, EarthConfig};
+use pm_comm::mpi::MpiWorld;
 use pm_cpu::{Cpu, CpuConfig};
+use pm_isa::parse_kernel;
 use pm_mem::{Access, HierarchyConfig, MemorySystem};
 use pm_net::crossbar::{Crossbar, CrossbarConfig};
 use pm_net::fifo::TimedFifo;
+use pm_net::flitsim;
+use pm_net::mesh::{Mesh, MeshConfig};
 use pm_node::crc::crc16;
 use pm_node::ni::{NiConfig, NiDirection};
-use pm_sim::time::Time;
+use pm_sim::time::{Duration, Time};
 use pm_workloads::stream;
 use std::hint::black_box;
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("l1_hits_4k", |b| {
+fn bench_hierarchy(r: &mut Runner) {
+    let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
+    let w = mem.access(0, Access::read(0), Time::ZERO);
+    let mut t = w.done_at;
+    r.bench("hierarchy/l1_hits_4k", || {
+        for _ in 0..4096 {
+            let res = mem.access(0, Access::read(8), t);
+            t = res.done_at;
+        }
+        t
+    });
+    r.bench("hierarchy/streaming_misses_4k", || {
         let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
-        // Warm one line.
-        let w = mem.access(0, Access::read(0), Time::ZERO);
-        let mut t = w.done_at;
-        b.iter(|| {
-            for _ in 0..4096 {
-                let r = mem.access(0, Access::read(8), t);
-                t = r.done_at;
-            }
-            black_box(t)
-        })
-    });
-    g.bench_function("streaming_misses_4k", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
-            let mut t = Time::ZERO;
-            for i in 0..4096u64 {
-                let r = mem.access(0, Access::read(i * 64), t);
-                t = r.done_at;
-            }
-            black_box(t)
-        })
-    });
-    g.finish();
-}
-
-fn bench_cpu_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpu_engine");
-    let trace = stream::triad(0, 4096);
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("triad_4k_elements", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
-            let mut cpu = Cpu::new(CpuConfig::mpc620());
-            black_box(cpu.execute(trace.clone(), &mut mem, 0))
-        })
-    });
-    g.finish();
-}
-
-fn bench_crossbar(c: &mut Criterion) {
-    c.bench_function("crossbar/route_close_cycle", |b| {
-        let mut xb = Crossbar::new(CrossbarConfig::powermanna());
         let mut t = Time::ZERO;
-        b.iter(|| {
-            let g = xb.route(0, 5, t);
-            t = g.established + pm_sim::time::Duration::from_us(1);
-            xb.close(5, t);
-            black_box(t)
-        })
+        for i in 0..4096u64 {
+            let res = mem.access(0, Access::read(i * 64), t);
+            t = res.done_at;
+        }
+        t
     });
 }
 
-fn bench_fifo(c: &mut Criterion) {
-    c.bench_function("timed_fifo/push_pop_1k", |b| {
-        b.iter(|| {
-            let mut f = TimedFifo::new(256);
-            let mut t = Time::ZERO;
-            for _ in 0..1024 {
-                f.push(t, 64);
-                t = t + pm_sim::time::Duration::from_ns(100);
-                f.pop(t, 64);
-            }
-            black_box(f.level(t))
-        })
+fn bench_cpu_engine(r: &mut Runner) {
+    let trace = stream::triad(0, 4096);
+    r.bench("cpu_engine/triad_4k_elements", || {
+        let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(1));
+        let mut cpu = Cpu::new(CpuConfig::mpc620());
+        cpu.execute(trace.clone(), &mut mem, 0)
     });
 }
 
-fn bench_ni(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ni");
-    g.throughput(Throughput::Bytes(64 * 1024));
-    g.bench_function("stream_64k", |b| {
-        b.iter(|| {
-            let mut dir = NiDirection::new(NiConfig::powermanna());
-            let mut st = Time::ZERO;
-            let mut rt = Time::ZERO;
-            let mut sent = 0u32;
-            let mut recv = 0u32;
-            while recv < 64 * 1024 {
-                if sent < 64 * 1024 {
-                    if let Some(done) = dir.push(st, 64) {
-                        st = done;
-                        sent += 64;
-                        continue;
-                    }
+fn bench_crossbar(r: &mut Runner) {
+    let mut xb = Crossbar::new(CrossbarConfig::powermanna());
+    let mut t = Time::ZERO;
+    r.bench("crossbar/route_close_cycle", || {
+        let g = xb.route(0, 5, t);
+        t = g.established + Duration::from_us(1);
+        xb.close(5, t);
+        t
+    });
+}
+
+fn bench_fifo(r: &mut Runner) {
+    r.bench("timed_fifo/push_pop_1k", || {
+        let mut f = TimedFifo::new(256);
+        let mut t = Time::ZERO;
+        for _ in 0..1024 {
+            f.push(t, 64);
+            t += Duration::from_ns(100);
+            f.pop(t, 64);
+        }
+        f.level(t)
+    });
+}
+
+fn bench_ni(r: &mut Runner) {
+    r.bench("ni/stream_64k", || {
+        let mut dir = NiDirection::new(NiConfig::powermanna());
+        let mut st = Time::ZERO;
+        let mut rt = Time::ZERO;
+        let mut sent = 0u32;
+        let mut recv = 0u32;
+        while recv < 64 * 1024 {
+            if sent < 64 * 1024 {
+                if let Some(done) = dir.push(st, 64) {
+                    st = done;
+                    sent += 64;
+                    continue;
                 }
-                rt = dir.pop(rt, 64).expect("sender ahead");
-                recv += 64;
             }
-            black_box(rt)
-        })
+            rt = dir.pop(rt, 64).expect("sender ahead");
+            recv += 64;
+        }
+        rt
     });
-    g.finish();
 }
 
-fn bench_crc(c: &mut Criterion) {
+fn bench_crc(r: &mut Runner) {
     let data: Vec<u8> = (0..65536u32).map(|x| x as u8).collect();
-    let mut g = c.benchmark_group("crc16");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("64k", |b| b.iter(|| black_box(crc16(&data))));
-    g.finish();
+    r.bench("crc16/64k", || crc16(&data));
 }
 
-criterion_group!(
-    substrates,
-    bench_hierarchy,
-    bench_cpu_engine,
-    bench_crossbar,
-    bench_fifo,
-    bench_ni,
-    bench_crc
-);
-
-// --- Extended-model benches -------------------------------------------
-
-mod extended {
-    use super::*;
-    use pm_comm::config::CommConfig;
-    use pm_comm::earth::{run_fibers, EarthConfig};
-    use pm_comm::mpi::MpiWorld;
-    use pm_isa::parse_kernel;
-    use pm_net::crossbar::CrossbarConfig;
-    use pm_net::flitsim;
-    use pm_net::mesh::{Mesh, MeshConfig};
-    use pm_sim::time::Duration;
-
-    pub fn bench_flitsim(c: &mut Criterion) {
-        let cfg = CrossbarConfig::powermanna();
-        let packets = flitsim::uniform_traffic(cfg, 32, 256, 5);
-        c.bench_function("flitsim/uniform_512pkts", |b| {
-            b.iter(|| black_box(flitsim::simulate(cfg, &packets)))
-        });
-    }
-
-    pub fn bench_mesh(c: &mut Criterion) {
-        c.bench_function("mesh/16_random_connections", |b| {
-            b.iter(|| {
-                let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
-                let mut rng = pm_sim::rng::SimRng::seed_from(3);
-                let mut finish = Time::ZERO;
-                for _ in 0..16 {
-                    let a = rng.gen_range(0, 16) as u32;
-                    let b2 = rng.gen_range(0, 16) as u32;
-                    if a == b2 {
-                        continue;
-                    }
-                    let mut conn = mesh.open(a, b2, Time::ZERO);
-                    let done = conn.transfer(conn.ready_at(), 1024);
-                    conn.close(&mut mesh, done);
-                    finish = finish.max(done);
-                }
-                black_box(finish)
-            })
-        });
-    }
-
-    pub fn bench_mpi(c: &mut Criterion) {
-        let cfg = CommConfig::powermanna();
-        c.bench_function("mpi/allreduce_64ranks_1k", |b| {
-            b.iter(|| {
-                let mut w = MpiWorld::new(64, cfg);
-                black_box(w.allreduce(1024))
-            })
-        });
-    }
-
-    pub fn bench_earth(c: &mut Criterion) {
-        let e = EarthConfig::powermanna();
-        let cm = CommConfig::powermanna();
-        c.bench_function("earth/16_fibers_64ops", |b| {
-            b.iter(|| black_box(run_fibers(&e, &cm, 16, 64, Duration::from_ns(500), 64)))
-        });
-    }
-
-    pub fn bench_parser(c: &mut Criterion) {
-        let text = "loop 64 {\n r1 = load 0x1000 + i*8\n r2 = load 0x9000 + i*8\n r3 = fmadd r1, r2, r3\n branch 0x10 taken\n}\nstore r3, 0x20000\n";
-        c.bench_function("parse_kernel/dot64", |b| {
-            b.iter(|| black_box(parse_kernel(text).expect("valid kernel")))
-        });
-    }
+fn bench_flitsim(r: &mut Runner) {
+    let cfg = CrossbarConfig::powermanna();
+    let packets = flitsim::uniform_traffic(cfg, 32, 256, 5);
+    r.bench("flitsim/uniform_512pkts_fresh", || {
+        flitsim::simulate(cfg, &packets)
+    });
+    // The sweep-reuse hot path: one simulator across all runs.
+    let mut sim = flitsim::FlitSim::new();
+    r.bench("flitsim/uniform_512pkts_reused", move || {
+        sim.run(cfg, &packets)
+    });
 }
 
-criterion_group!(
-    extended_models,
-    extended::bench_flitsim,
-    extended::bench_mesh,
-    extended::bench_mpi,
-    extended::bench_earth,
-    extended::bench_parser
-);
-criterion_main!(substrates, extended_models);
+fn bench_mesh(r: &mut Runner) {
+    r.bench("mesh/16_random_connections", || {
+        let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
+        let mut rng = pm_sim::rng::SimRng::seed_from(3);
+        let mut finish = Time::ZERO;
+        for _ in 0..16 {
+            let a = rng.gen_range(0, 16) as u32;
+            let b2 = rng.gen_range(0, 16) as u32;
+            if a == b2 {
+                continue;
+            }
+            let mut conn = mesh.open(a, b2, Time::ZERO);
+            let done = conn.transfer(conn.ready_at(), 1024);
+            conn.close(&mut mesh, done);
+            finish = finish.max(done);
+        }
+        finish
+    });
+}
+
+fn bench_mpi(r: &mut Runner) {
+    let cfg = CommConfig::powermanna();
+    r.bench("mpi/allreduce_64ranks_1k", || {
+        let mut w = MpiWorld::new(64, cfg);
+        w.allreduce(1024)
+    });
+}
+
+fn bench_earth(r: &mut Runner) {
+    let e = EarthConfig::powermanna();
+    let cm = CommConfig::powermanna();
+    r.bench("earth/16_fibers_64ops", || {
+        run_fibers(&e, &cm, 16, 64, Duration::from_ns(500), 64)
+    });
+}
+
+fn bench_parser(r: &mut Runner) {
+    let text = "loop 64 {\n r1 = load 0x1000 + i*8\n r2 = load 0x9000 + i*8\n r3 = fmadd r1, r2, r3\n branch 0x10 taken\n}\nstore r3, 0x20000\n";
+    r.bench("parse_kernel/dot64", || {
+        parse_kernel(text).expect("valid kernel")
+    });
+}
+
+fn main() {
+    Runner::header("substrates");
+    let mut r = Runner::new();
+    bench_hierarchy(&mut r);
+    bench_cpu_engine(&mut r);
+    bench_crossbar(&mut r);
+    bench_fifo(&mut r);
+    bench_ni(&mut r);
+    bench_crc(&mut r);
+    bench_flitsim(&mut r);
+    bench_mesh(&mut r);
+    bench_mpi(&mut r);
+    bench_earth(&mut r);
+    bench_parser(&mut r);
+    black_box(r.samples().len());
+}

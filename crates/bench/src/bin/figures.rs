@@ -4,17 +4,28 @@
 //!   figures                 # run everything, write out/ bundle
 //!   figures fig9 fig11      # run selected experiments, print to stdout
 //!   figures --quick         # shrunken sweeps (CI)
+//!   figures --serial        # disable the parallel sweep harness
 //!   figures --list          # list experiment ids
 //!   figures --checks        # run the headline shape checks
+//!   figures --time          # time every experiment, write BENCH_figures.json
+//!                           # (with --serial: skip the parallel pass)
 
 use pm_core::experiments::{all_experiments, find, headline_checks};
-use pm_core::report::{render_terminal, write_bundle};
+use pm_core::report::{render_terminal, run_all, write_bundle};
+use pm_sim::par;
+use std::hint::black_box;
 use std::path::Path;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let serial = args.iter().any(|a| a == "--serial");
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if serial {
+        par::set_parallel(false);
+    }
 
     if args.iter().any(|a| a == "--list") {
         for e in all_experiments() {
@@ -25,17 +36,27 @@ fn main() {
     if args.iter().any(|a| a == "--checks") {
         let mut failed = 0;
         for (name, ok, detail) in headline_checks() {
-            println!("[{}] {name}\n       {detail}", if ok { "PASS" } else { "FAIL" });
+            println!(
+                "[{}] {name}\n       {detail}",
+                if ok { "PASS" } else { "FAIL" }
+            );
             if !ok {
                 failed += 1;
             }
         }
         std::process::exit(if failed == 0 { 0 } else { 1 });
     }
+    if args.iter().any(|a| a == "--time") {
+        time_bundle(quick, serial);
+        return;
+    }
 
     if ids.is_empty() {
         let dir = Path::new("out");
-        println!("running all experiments (quick={quick}); writing {}", dir.display());
+        println!(
+            "running all experiments (quick={quick}); writing {}",
+            dir.display()
+        );
         match write_bundle(dir, quick) {
             Ok(written) => {
                 for id in written {
@@ -64,4 +85,104 @@ fn main() {
             }
         }
     }
+}
+
+/// Times the full experiment bundle and writes `BENCH_figures.json`.
+///
+/// The serial pass runs every experiment one at a time with the worker
+/// pool disabled, recording per-experiment wall-clock; the parallel
+/// pass (skipped under `--serial`) re-runs the whole bundle through
+/// [`run_all`]'s sweep fan-out and records the total. The speedup is
+/// serial-total over parallel-total on this host.
+fn time_bundle(quick: bool, serial_only: bool) {
+    let workers = par::available_workers();
+    println!(
+        "timing bundle (quick={quick}, workers={workers}{})",
+        if serial_only { ", serial only" } else { "" }
+    );
+
+    // Per-experiment timings, worker pool off: inner sweeps stay inline
+    // so each number is that experiment's standalone serial cost.
+    par::set_parallel(false);
+    let mut per_experiment = Vec::new();
+    let serial_start = Instant::now();
+    for exp in all_experiments() {
+        let t = Instant::now();
+        black_box((exp.run)(quick));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("  {:14} {:>9.1} ms", exp.id, ms);
+        per_experiment.push((exp.id, ms));
+    }
+    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+    println!("serial total   {serial_ms:>9.1} ms");
+
+    let parallel_ms = if serial_only {
+        None
+    } else {
+        par::set_parallel(true);
+        let t = Instant::now();
+        black_box(run_all(quick));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("parallel total {ms:>9.1} ms");
+        Some(ms)
+    };
+    if let Some(p) = parallel_ms {
+        println!("speedup        {:>9.2}x", serial_ms / p);
+    }
+
+    let path = Path::new("BENCH_figures.json");
+    match std::fs::write(
+        path,
+        render_json(quick, workers, &per_experiment, serial_ms, parallel_ms),
+    ) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Hand-rolled JSON (the build policy forbids external crates): numbers
+/// are plain `f64`s and every string is a known ASCII experiment id, so
+/// no escaping is needed.
+fn render_json(
+    quick: bool,
+    workers: usize,
+    per_experiment: &[(&str, f64)],
+    serial_ms: f64,
+    parallel_ms: Option<f64>,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"workers\": {workers},\n"));
+    if workers == 1 {
+        s.push_str(
+            "  \"note\": \"single-core host: the pool degrades to inline serial, \
+             so speedup only reflects host timing noise\",\n",
+        );
+    }
+    s.push_str("  \"experiments_ms\": {\n");
+    for (i, (id, ms)) in per_experiment.iter().enumerate() {
+        let comma = if i + 1 < per_experiment.len() {
+            ","
+        } else {
+            ""
+        };
+        s.push_str(&format!("    \"{id}\": {ms:.3}{comma}\n"));
+    }
+    s.push_str("  },\n");
+    s.push_str(&format!("  \"serial_total_ms\": {serial_ms:.3},\n"));
+    match parallel_ms {
+        Some(p) => {
+            s.push_str(&format!("  \"parallel_total_ms\": {p:.3},\n"));
+            s.push_str(&format!("  \"speedup\": {:.3}\n", serial_ms / p));
+        }
+        None => {
+            s.push_str("  \"parallel_total_ms\": null,\n");
+            s.push_str("  \"speedup\": null\n");
+        }
+    }
+    s.push_str("}\n");
+    s
 }

@@ -4,6 +4,150 @@
 //!
 //! * the `figures` binary — regenerates every table and figure of the
 //!   paper (run `cargo run --release -p pm-bench --bin figures` for the
-//!   full bundle, or pass experiment ids like `fig9 table1`);
-//! * Criterion benches (`cargo bench`) that time the simulator's hot
-//!   paths and print the per-experiment headline numbers.
+//!   full bundle, pass experiment ids like `fig9 table1` for single
+//!   figures, or `--time` to record the wall-clock baseline in
+//!   `BENCH_figures.json`);
+//! * wall-clock benches (`cargo bench`) of the simulator's hot paths,
+//!   built on the dependency-free [`tinybench`] harness below — the
+//!   build policy (see DESIGN.md) forbids external crates, so Criterion
+//!   is out.
+
+pub mod tinybench {
+    //! A tiny wall-clock micro-benchmark harness.
+    //!
+    //! Deliberately minimal — no statistics beyond min/mean/max over a
+    //! handful of timed batches — but dependency-free and good enough to
+    //! spot order-of-magnitude regressions in the simulator substrate.
+    //! Each bench warms up once, sizes its batch so a run fits the time
+    //! budget (`PM_BENCH_BUDGET_MS` per bench, default 200 ms), then
+    //! times five batches.
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Result of one benchmark: per-iteration timings over the batches.
+    pub struct Sample {
+        /// Benchmark name.
+        pub name: String,
+        /// Iterations per timed batch.
+        pub batch: u32,
+        /// Fastest per-iteration time observed.
+        pub min: Duration,
+        /// Mean per-iteration time across batches.
+        pub mean: Duration,
+        /// Slowest per-iteration time observed.
+        pub max: Duration,
+    }
+
+    /// Collects and reports benchmark samples.
+    #[derive(Default)]
+    pub struct Runner {
+        samples: Vec<Sample>,
+    }
+
+    const BATCHES: u32 = 5;
+
+    fn budget() -> Duration {
+        let ms = std::env::var("PM_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Duration::from_millis(ms)
+    }
+
+    impl Runner {
+        /// A runner with no samples yet.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Times `f`, printing one line and retaining the sample.
+        pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+            // Warm-up and batch sizing: target budget/BATCHES per batch.
+            let t0 = Instant::now();
+            black_box(f());
+            let once = t0.elapsed().max(Duration::from_nanos(50));
+            let per_batch = budget() / BATCHES;
+            let batch = u64::min(
+                u64::max(per_batch.as_nanos() as u64 / once.as_nanos() as u64, 1),
+                1_000_000,
+            ) as u32;
+
+            let mut per_iter = Vec::with_capacity(BATCHES as usize);
+            for _ in 0..BATCHES {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                per_iter.push(t.elapsed() / batch);
+            }
+            let sample = Sample {
+                name: name.to_string(),
+                batch,
+                min: per_iter.iter().copied().min().expect("batches ran"),
+                mean: per_iter.iter().sum::<Duration>() / BATCHES,
+                max: per_iter.iter().copied().max().expect("batches ran"),
+            };
+            println!(
+                "{:44} {:>12} {:>12} {:>12}   x{}",
+                sample.name,
+                format_duration(sample.min),
+                format_duration(sample.mean),
+                format_duration(sample.max),
+                sample.batch,
+            );
+            self.samples.push(sample);
+        }
+
+        /// The samples recorded so far.
+        pub fn samples(&self) -> &[Sample] {
+            &self.samples
+        }
+
+        /// Prints the header line matching [`Runner::bench`]'s rows.
+        pub fn header(title: &str) {
+            println!("== {title} ==");
+            println!(
+                "{:44} {:>12} {:>12} {:>12}   batch",
+                "benchmark", "min/iter", "mean/iter", "max/iter"
+            );
+        }
+    }
+
+    /// Renders a duration with a unit that keeps 3-4 significant digits.
+    pub fn format_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 10_000 {
+            format!("{ns} ns")
+        } else if ns < 10_000_000 {
+            format!("{:.1} us", ns as f64 / 1e3)
+        } else if ns < 10_000_000_000 {
+            format!("{:.1} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bench_records_positive_timings() {
+            let mut r = Runner::new();
+            r.bench("spin", || black_box((0..100u64).sum::<u64>()));
+            assert_eq!(r.samples().len(), 1);
+            let s = &r.samples()[0];
+            assert!(s.min <= s.mean && s.mean <= s.max);
+            assert!(s.batch >= 1);
+        }
+
+        #[test]
+        fn durations_format_with_sensible_units() {
+            assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+            assert_eq!(format_duration(Duration::from_micros(15)), "15.0 us");
+            assert_eq!(format_duration(Duration::from_millis(15)), "15.0 ms");
+            assert_eq!(format_duration(Duration::from_secs(15)), "15.00 s");
+        }
+    }
+}

@@ -19,6 +19,7 @@ use pm_net::flitsim;
 use pm_net::mesh::{Mesh, MeshConfig};
 use pm_net::network::Network;
 use pm_net::topology::{LinkKind, Topology};
+use pm_sim::par::par_sweep;
 use pm_sim::stats::{Figure, Series, Table};
 use pm_sim::time::Time;
 use pm_workloads::hint::HintType;
@@ -195,8 +196,12 @@ fn fig6(dtype: HintType, quick: bool) -> Figure {
     };
     let max_mem: u64 = if quick { 1 << 17 } else { 24 << 20 };
     let mut fig = Figure::new(label, "time [s]", "QUIPS");
-    for sys in systems::all_nodes() {
-        fig.add_series(run_hint(&sys, dtype, max_mem).to_series());
+    // One sweep point per test system: the HINT runs dominate the full
+    // bundle, so they fan out across whatever cores the pool has free.
+    for series in par_sweep(systems::all_nodes(), |sys| {
+        run_hint(&sys, dtype, max_mem).to_series()
+    }) {
+        fig.add_series(series);
     }
     fig
 }
@@ -211,25 +216,46 @@ fn matmult_sizes(quick: bool) -> Vec<usize> {
     }
 }
 
+/// Sweeps every `(system, N)` pair through `point` across the worker
+/// pool and assembles one series per system, points in size order.
+fn matmult_figure(
+    label: &str,
+    ylabel: &str,
+    quick: bool,
+    point: impl Fn(&systems::System, usize) -> f64 + Sync,
+) -> Figure {
+    // The paper uses the clock-matched Pentium for Figures 7 and 8.
+    let machines = [
+        systems::powermanna(),
+        systems::sun_ultra(),
+        systems::pentium_180(),
+    ];
+    let sizes = matmult_sizes(quick);
+    let pairs: Vec<(&systems::System, usize)> = machines
+        .iter()
+        .flat_map(|sys| sizes.iter().map(move |&n| (sys, n)))
+        .collect();
+    let values = par_sweep(pairs, |(sys, n)| point(sys, n));
+    let mut fig = Figure::new(label, "matrix size N", ylabel);
+    let mut values = values.into_iter();
+    for sys in &machines {
+        let mut s = Series::new(sys.name);
+        for &n in &sizes {
+            s.push(n as f64, values.next().expect("one value per (system, N)"));
+        }
+        fig.add_series(s);
+    }
+    fig
+}
+
 fn fig7(version: MatMultVersion, quick: bool) -> Figure {
     let label = match version {
         MatMultVersion::Naive => "fig7a (MatMult naive)",
         MatMultVersion::Transposed => "fig7b (MatMult transposed)",
     };
-    let mut fig = Figure::new(label, "matrix size N", "MFLOPS");
-    // The paper uses the clock-matched Pentium for Figure 7.
-    for sys in [
-        systems::powermanna(),
-        systems::sun_ultra(),
-        systems::pentium_180(),
-    ] {
-        let mut s = Series::new(sys.name);
-        for &n in &matmult_sizes(quick) {
-            s.push(n as f64, measure_single(&sys, n, version).mflops);
-        }
-        fig.add_series(s);
-    }
-    fig
+    matmult_figure(label, "MFLOPS", quick, |sys, n| {
+        measure_single(sys, n, version).mflops
+    })
 }
 
 // --- Figure 8: dual-CPU speedup ----------------------------------------
@@ -239,19 +265,9 @@ fn fig8(version: MatMultVersion, quick: bool) -> Figure {
         MatMultVersion::Naive => "fig8a (MatMult naive speedup)",
         MatMultVersion::Transposed => "fig8b (MatMult transposed speedup)",
     };
-    let mut fig = Figure::new(label, "matrix size N", "dual-CPU speedup");
-    for sys in [
-        systems::powermanna(),
-        systems::sun_ultra(),
-        systems::pentium_180(),
-    ] {
-        let mut s = Series::new(sys.name);
-        for &n in &matmult_sizes(quick) {
-            s.push(n as f64, speedup(&sys, n, version));
-        }
-        fig.add_series(s);
-    }
-    fig
+    matmult_figure(label, "dual-CPU speedup", quick, |sys, n| {
+        speedup(sys, n, version)
+    })
 }
 
 // --- Figures 9-12: communication ---------------------------------------
@@ -260,92 +276,94 @@ fn message_sizes(quick: bool) -> Vec<u32> {
     if quick {
         vec![8, 256, 4096]
     } else {
-        vec![4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536]
+        vec![
+            4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536,
+        ]
     }
 }
 
 fn comm_config() -> CommConfig {
-    systems::powermanna().comm.expect("PowerMANNA has a comm stack")
+    systems::powermanna()
+        .comm
+        .expect("PowerMANNA has a comm stack")
+}
+
+/// Sweeps every message size through `point` — which returns the
+/// `[PowerMANNA, BIP, FM]` values for that size — across the worker
+/// pool, and assembles the three comparison series.
+fn comm_figure(
+    title: &str,
+    ylabel: &str,
+    quick: bool,
+    point: impl Fn(&CommConfig, u32) -> [f64; 3] + Sync,
+) -> Figure {
+    let cfg = comm_config();
+    let sizes = message_sizes(quick);
+    let values = par_sweep(sizes.clone(), |n| point(&cfg, n));
+    let mut fig = Figure::new(title, "message size [byte]", ylabel);
+    for (k, name) in ["PowerMANNA", "BIP", "FM"].into_iter().enumerate() {
+        let mut s = Series::new(name);
+        for (&n, v) in sizes.iter().zip(&values) {
+            s.push(n as f64, v[k]);
+        }
+        fig.add_series(s);
+    }
+    fig
 }
 
 fn fig9(quick: bool) -> Figure {
-    let mut fig = Figure::new("fig9 (one-way latency)", "message size [byte]", "latency [us]");
-    let cfg = comm_config();
-    let mut pm = Series::new("PowerMANNA");
-    let mut bip = Series::new("BIP");
-    let mut fm = Series::new("FM");
-    for &n in &message_sizes(quick) {
-        pm.push(n as f64, driver::one_way_latency(&cfg, n).as_us_f64());
-        bip.push(n as f64, LoggpModel::bip().one_way_latency(n).as_us_f64());
-        fm.push(n as f64, LoggpModel::fm().one_way_latency(n).as_us_f64());
-    }
-    fig.add_series(pm);
-    fig.add_series(bip);
-    fig.add_series(fm);
-    fig
+    comm_figure("fig9 (one-way latency)", "latency [us]", quick, |cfg, n| {
+        [
+            driver::one_way_latency(cfg, n).as_us_f64(),
+            LoggpModel::bip().one_way_latency(n).as_us_f64(),
+            LoggpModel::fm().one_way_latency(n).as_us_f64(),
+        ]
+    })
 }
 
 fn fig10(quick: bool) -> Figure {
-    let mut fig = Figure::new(
+    comm_figure(
         "fig10 (send time at saturation)",
-        "message size [byte]",
         "gap [us]",
-    );
-    let cfg = comm_config();
-    let mut pm = Series::new("PowerMANNA");
-    let mut bip = Series::new("BIP");
-    let mut fm = Series::new("FM");
-    for &n in &message_sizes(quick) {
-        pm.push(n as f64, driver::gap_at_saturation(&cfg, n).as_us_f64());
-        bip.push(n as f64, LoggpModel::bip().gap(n).as_us_f64());
-        fm.push(n as f64, LoggpModel::fm().gap(n).as_us_f64());
-    }
-    fig.add_series(pm);
-    fig.add_series(bip);
-    fig.add_series(fm);
-    fig
+        quick,
+        |cfg, n| {
+            [
+                driver::gap_at_saturation(cfg, n).as_us_f64(),
+                LoggpModel::bip().gap(n).as_us_f64(),
+                LoggpModel::fm().gap(n).as_us_f64(),
+            ]
+        },
+    )
 }
 
 fn fig11(quick: bool) -> Figure {
-    let mut fig = Figure::new(
+    comm_figure(
         "fig11 (unidirectional bandwidth)",
-        "message size [byte]",
         "bandwidth [Mbyte/s]",
-    );
-    let cfg = comm_config();
-    let mut pm = Series::new("PowerMANNA");
-    let mut bip = Series::new("BIP");
-    let mut fm = Series::new("FM");
-    for &n in &message_sizes(quick) {
-        pm.push(n as f64, driver::unidirectional_bandwidth(&cfg, n));
-        bip.push(n as f64, LoggpModel::bip().unidirectional_bandwidth(n));
-        fm.push(n as f64, LoggpModel::fm().unidirectional_bandwidth(n));
-    }
-    fig.add_series(pm);
-    fig.add_series(bip);
-    fig.add_series(fm);
-    fig
+        quick,
+        |cfg, n| {
+            [
+                driver::unidirectional_bandwidth(cfg, n),
+                LoggpModel::bip().unidirectional_bandwidth(n),
+                LoggpModel::fm().unidirectional_bandwidth(n),
+            ]
+        },
+    )
 }
 
 fn fig12(quick: bool) -> Figure {
-    let mut fig = Figure::new(
+    comm_figure(
         "fig12 (bidirectional bandwidth)",
-        "message size [byte]",
         "aggregate bandwidth [Mbyte/s]",
-    );
-    let cfg = comm_config();
-    let mut pm = Series::new("PowerMANNA");
-    let mut bip = Series::new("BIP");
-    let mut fm = Series::new("FM");
-    for &n in &message_sizes(quick) {
-        pm.push(n as f64, driver::bidirectional_bandwidth(&cfg, n));
-        bip.push(n as f64, LoggpModel::bip().bidirectional_bandwidth(n));
-        fm.push(n as f64, LoggpModel::fm().bidirectional_bandwidth(n));
-    }
-    fig.add_series(pm);
-    fig.add_series(bip);
-    fig.add_series(fm);
-    fig
+        quick,
+        |cfg, n| {
+            [
+                driver::bidirectional_bandwidth(cfg, n),
+                LoggpModel::bip().bidirectional_bandwidth(n),
+                LoggpModel::fm().bidirectional_bandwidth(n),
+            ]
+        },
+    )
 }
 
 // --- Ablations ----------------------------------------------------------
@@ -427,9 +445,13 @@ fn x3_fifo(quick: bool) -> Figure {
     );
     let msg: u32 = if quick { 4096 } else { 16384 };
     let mut s = Series::new("PowerMANNA bidirectional");
-    for factor in [1u32, 2, 4, 8, 16] {
+    let factors = vec![1u32, 2, 4, 8, 16];
+    let bw = par_sweep(factors.clone(), |factor| {
         let cfg = comm_config().with_fifo_factor(factor);
-        s.push(factor as f64, driver::bidirectional_bandwidth(&cfg, msg));
+        driver::bidirectional_bandwidth(&cfg, msg)
+    });
+    for (factor, bw) in factors.into_iter().zip(bw) {
+        s.push(factor as f64, bw);
     }
     fig.add_series(s);
     fig
@@ -474,12 +496,17 @@ fn x5_blocking(quick: bool) -> Figure {
     let per_input = if quick { 8 } else { 64 };
     let payload = 512;
     let mut s = Series::new("16x16 crossbar");
-    let perm = flitsim::simulate(cfg, &flitsim::permutation_traffic(cfg, per_input, payload, 1));
-    let unif = flitsim::simulate(cfg, &flitsim::uniform_traffic(cfg, per_input, payload, 11));
-    let hot = flitsim::simulate(cfg, &flitsim::hotspot_traffic(cfg, per_input, payload));
-    s.push(1.0, perm.throughput_mbs());
-    s.push(2.0, unif.throughput_mbs());
-    s.push(3.0, hot.throughput_mbs());
+    let patterns = vec![
+        flitsim::permutation_traffic(cfg, per_input, payload, 1),
+        flitsim::uniform_traffic(cfg, per_input, payload, 11),
+        flitsim::hotspot_traffic(cfg, per_input, payload),
+    ];
+    let throughput = par_sweep(patterns, |packets| {
+        flitsim::simulate(cfg, &packets).throughput_mbs()
+    });
+    for (i, mbs) in throughput.into_iter().enumerate() {
+        s.push(i as f64 + 1.0, mbs);
+    }
     fig.add_series(s);
     fig
 }
@@ -487,16 +514,14 @@ fn x5_blocking(quick: bool) -> Figure {
 /// X6: the same random pairs through a 4x4 mesh and a single 16x16
 /// crossbar, built from the same link/router technology.
 fn x6_mesh_vs_xbar(quick: bool) -> Figure {
-    let mut fig = Figure::new(
-        "x6 (mesh vs crossbar)",
-        "trial",
-        "makespan [us]",
-    );
+    let mut fig = Figure::new("x6 (mesh vs crossbar)", "trial", "makespan [us]");
     let trials = if quick { 3 } else { 10 };
     let payload = 2048u64;
     let mut s_mesh = Series::new("4x4 mesh (XY wormhole)");
     let mut s_xbar = Series::new("16x16 crossbar");
-    for trial in 0..trials {
+    // Each trial seeds its own SimRng, so trials are independent sweep
+    // points and fan across the pool without changing the drawn pairs.
+    let per_trial = par_sweep((0..trials).collect(), |trial| {
         let mut rng = pm_sim::rng::SimRng::seed_from(1000 + trial);
         let mut pairs = Vec::new();
         while pairs.len() < 16 {
@@ -529,8 +554,11 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
             c.close(&mut net, done);
             xb_finish = xb_finish.max(done);
         }
-        s_mesh.push(trial as f64, mesh_finish.as_us_f64());
-        s_xbar.push(trial as f64, xb_finish.as_us_f64());
+        (mesh_finish.as_us_f64(), xb_finish.as_us_f64())
+    });
+    for (trial, (mesh_us, xbar_us)) in per_trial.into_iter().enumerate() {
+        s_mesh.push(trial as f64, mesh_us);
+        s_xbar.push(trial as f64, xbar_us);
     }
     fig.add_series(s_mesh);
     fig.add_series(s_xbar);
@@ -541,23 +569,29 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
 /// software stack exercising the cluster hierarchy (intra-cluster pairs
 /// pay one crossbar, inter-cluster pairs three).
 fn x7_collectives(quick: bool) -> Figure {
-    let mut fig = Figure::new(
-        "x7 (MPI collectives)",
-        "ranks",
-        "completion time [us]",
-    );
-    let sizes: &[usize] = if quick { &[2, 8, 32] } else { &[2, 4, 8, 16, 32, 64, 128] };
+    let mut fig = Figure::new("x7 (MPI collectives)", "ranks", "completion time [us]");
+    let sizes: &[usize] = if quick {
+        &[2, 8, 32]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
     let cfg = comm_config();
     let mut barrier = Series::new("barrier");
     let mut bcast = Series::new("bcast 1KB");
     let mut allreduce = Series::new("allreduce 1KB");
-    for &n in sizes {
+    let per_size = par_sweep(sizes.to_vec(), |n| {
         let mut w = MpiWorld::new(n, cfg);
-        barrier.push(n as f64, w.barrier().as_us_f64());
+        let t_barrier = w.barrier().as_us_f64();
         let mut w = MpiWorld::new(n, cfg);
-        bcast.push(n as f64, w.bcast(0, 1024).as_us_f64());
+        let t_bcast = w.bcast(0, 1024).as_us_f64();
         let mut w = MpiWorld::new(n, cfg);
-        allreduce.push(n as f64, w.allreduce(1024).as_us_f64());
+        let t_allreduce = w.allreduce(1024).as_us_f64();
+        (t_barrier, t_bcast, t_allreduce)
+    });
+    for (&n, (t_barrier, t_bcast, t_allreduce)) in sizes.iter().zip(per_size) {
+        barrier.push(n as f64, t_barrier);
+        bcast.push(n as f64, t_bcast);
+        allreduce.push(n as f64, t_allreduce);
     }
     fig.add_series(barrier);
     fig.add_series(bcast);
@@ -598,13 +632,20 @@ fn x9_tiling(quick: bool) -> Figure {
         "matrix size N",
         "MFLOPS (PowerMANNA)",
     );
-    let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 384, 512] };
+    let sizes: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 384, 512]
+    };
     let pm = systems::powermanna();
     let mut naive = Series::new("naive");
     let mut transposed = Series::new("transposed");
     let mut blocked = Series::new("blocked 32x32");
     for &n in sizes {
-        naive.push(n as f64, measure_single(&pm, n, MatMultVersion::Naive).mflops);
+        naive.push(
+            n as f64,
+            measure_single(&pm, n, MatMultVersion::Naive).mflops,
+        );
         transposed.push(
             n as f64,
             measure_single(&pm, n, MatMultVersion::Transposed).mflops,
@@ -624,11 +665,7 @@ fn x9_tiling(quick: bool) -> Figure {
 /// n-node iteration time.
 fn x10_stencil(quick: bool) -> Figure {
     use pm_workloads::stencil::Stencil;
-    let mut fig = Figure::new(
-        "x10 (stencil weak scaling)",
-        "nodes",
-        "parallel efficiency",
-    );
+    let mut fig = Figure::new("x10 (stencil weak scaling)", "nodes", "parallel efficiency");
     let width = if quick { 128 } else { 512 };
     let rows = if quick { 32 } else { 128 };
     let stencil = Stencil::new(width, rows);
@@ -639,17 +676,16 @@ fn x10_stencil(quick: bool) -> Figure {
     let mut mem = MemorySystem::new(sys.node.mem);
     let mut cpu = pm_cpu::Cpu::new(sys.node.cpu.clone());
     let warm = cpu.execute_at(stencil.sweep_rows(0, rows), &mut mem, 0, Time::ZERO);
-    let sweep = cpu.execute_at(
-        stencil.sweep_rows(0, rows),
-        &mut mem,
-        0,
-        warm.finished_at,
-    );
+    let sweep = cpu.execute_at(stencil.sweep_rows(0, rows), &mut mem, 0, warm.finished_at);
     let compute = sweep.elapsed;
 
     let cfg = comm_config();
     let mut s = Series::new("PowerMANNA, 512x128 slab/node");
-    let sizes: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let sizes: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     for &n in sizes {
         let comm = if n == 1 {
             pm_sim::time::Duration::ZERO
@@ -720,7 +756,10 @@ pub fn headline_checks() -> Vec<(String, bool, String)> {
     out.push((
         "fig7: PowerMANNA naive/transposed gap large at big N".into(),
         trans / naive > 3.0,
-        format!("transposed {trans:.1} / naive {naive:.1} = {:.1}x", trans / naive),
+        format!(
+            "transposed {trans:.1} / naive {naive:.1} = {:.1}x",
+            trans / naive
+        ),
     ));
 
     out
@@ -764,7 +803,11 @@ mod tests {
         };
         // All series produce positive MFLOPS.
         for s in f.series() {
-            assert!(s.points().iter().all(|&(_, y)| y > 0.0), "{} has junk", s.name());
+            assert!(
+                s.points().iter().all(|&(_, y)| y > 0.0),
+                "{} has junk",
+                s.name()
+            );
         }
     }
 

@@ -67,12 +67,7 @@ pub fn measure_single(system: &System, n: usize, version: MatMultVersion) -> Mat
         // Warm-up row primes caches and branch predictor.
         let warm = cpu.execute_at(kernel.trace_rows(0, 1), &mut mem, 0, cursor);
         cursor = warm.finished_at;
-        let measured = cpu.execute_at(
-            kernel.trace_rows(1, 1 + SAMPLE_ROWS),
-            &mut mem,
-            0,
-            cursor,
-        );
+        let measured = cpu.execute_at(kernel.trace_rows(1, 1 + SAMPLE_ROWS), &mut mem, 0, cursor);
         let per_row = measured.elapsed / SAMPLE_ROWS as u64;
         runtime += per_row * n as u64;
     }
@@ -181,8 +176,7 @@ pub fn measure_blocked(system: &System, n: usize, tile: usize) -> MatMultMeasure
         runtime += r.elapsed;
     } else {
         let warm = cpu.execute_at(kernel.trace_block_rows(0, 1), &mut mem, 0, Time::ZERO);
-        let measured =
-            cpu.execute_at(kernel.trace_block_rows(1, 2), &mut mem, 0, warm.finished_at);
+        let measured = cpu.execute_at(kernel.trace_block_rows(1, 2), &mut mem, 0, warm.finished_at);
         runtime += measured.elapsed * blocks as u64;
     }
     MatMultMeasurement {

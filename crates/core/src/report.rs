@@ -1,14 +1,38 @@
 //! Rendering and persisting experiment bundles.
 
 use crate::experiments::{all_experiments, Artifact};
+use pm_sim::par::par_sweep;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Runs every registered experiment — in parallel, one thread per
-/// experiment — and writes one CSV plus one markdown file per artefact
-/// into `dir`, along with a `SUMMARY.md` index.
+/// Runs every registered experiment and returns `(id, artifact)` pairs
+/// in registry order.
+///
+/// Experiments fan out across the [`pm_sim::par`] worker pool with
+/// dynamic (pull-the-next-one) scheduling, so a handful of expensive
+/// sweeps cannot serialise behind each other the way one-thread-per-
+/// experiment scheduling used to; the expensive experiments additionally
+/// parallelise their inner sweeps when cores are free. Every experiment
+/// is a pure function of `quick`, so the result — and any bundle written
+/// from it — is byte-identical whether this runs serially or in
+/// parallel (see `pm_sim::par::set_parallel`).
+pub fn run_all(quick: bool) -> Vec<(String, Artifact)> {
+    let experiments = all_experiments();
+    let artifacts = par_sweep(experiments.iter().map(|e| e.run).collect(), |run| {
+        run(quick)
+    });
+    experiments
+        .into_iter()
+        .zip(artifacts)
+        .map(|(exp, a)| (exp.id.to_string(), a))
+        .collect()
+}
+
+/// Runs every registered experiment — across the worker pool — and
+/// writes one CSV plus one markdown file per artefact into `dir`, along
+/// with a `SUMMARY.md` index.
 ///
 /// `quick` shrinks the sweeps (used by tests; the bench harness runs the
 /// full versions). Experiments are independent deterministic
@@ -21,35 +45,14 @@ use std::path::Path;
 pub fn write_bundle(dir: &Path, quick: bool) -> io::Result<Vec<String>> {
     fs::create_dir_all(dir)?;
     let experiments = all_experiments();
-    let artifacts: Vec<(usize, Artifact)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = experiments
-            .iter()
-            .enumerate()
-            .map(|(i, exp)| {
-                let run = exp.run;
-                scope.spawn(move |_| (i, run(quick)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
-    })
-    .expect("experiment scope panicked");
-
-    let mut by_index: Vec<Option<Artifact>> = vec![None; experiments.len()];
-    for (i, a) in artifacts {
-        by_index[i] = Some(a);
-    }
+    let artifacts = run_all(quick);
     let mut written = Vec::new();
     let mut summary = String::from("# PowerMANNA reproduction — experiment bundle\n\n");
-    for (exp, artifact) in experiments.iter().zip(by_index) {
-        let artifact = artifact.expect("every experiment produced an artifact");
-        let stem = exp.id;
+    for (exp, (stem, artifact)) in experiments.iter().zip(artifacts) {
         fs::write(dir.join(format!("{stem}.csv")), artifact.to_csv())?;
         fs::write(dir.join(format!("{stem}.md")), artifact.to_markdown())?;
         let _ = writeln!(summary, "- **{}** — `{stem}.csv`, `{stem}.md`", exp.title);
-        written.push(stem.to_string());
+        written.push(stem);
     }
     fs::write(dir.join("SUMMARY.md"), summary)?;
     Ok(written)
@@ -93,13 +96,43 @@ mod tests {
     fn bundle_writes_quick_artifacts() {
         let dir = std::env::temp_dir().join("pm_bundle_test");
         let _ = fs::remove_dir_all(&dir);
-        // Only check a subset quickly: write_bundle runs everything, which
-        // is exercised fully by the bench harness; here we verify the
-        // mechanics with the cheap experiments by calling them directly.
-        let a = (find("table1").unwrap().run)(true);
-        fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("table1.csv"), a.to_csv()).unwrap();
-        assert!(dir.join("table1.csv").exists());
+        let written = write_bundle(&dir, true).expect("bundle written");
+        assert_eq!(written.len(), all_experiments().len());
+        for stem in &written {
+            assert!(
+                dir.join(format!("{stem}.csv")).exists(),
+                "{stem}.csv missing"
+            );
+            assert!(dir.join(format!("{stem}.md")).exists(), "{stem}.md missing");
+        }
+        let summary = fs::read_to_string(dir.join("SUMMARY.md")).unwrap();
+        assert!(summary.contains("fig9.csv"));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serial_and_parallel_bundles_are_byte_identical() {
+        // The determinism contract of the parallel harness: fanning the
+        // experiments (and their inner sweeps) across the worker pool
+        // changes wall-clock time and nothing else. Compare every
+        // artifact's rendered CSV and markdown strings.
+        pm_sim::par::set_parallel(false);
+        let serial = run_all(true);
+        pm_sim::par::set_parallel(true);
+        let parallel = run_all(true);
+        assert_eq!(serial.len(), parallel.len());
+        for ((sid, sa), (pid, pa)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(sid, pid);
+            assert_eq!(
+                sa.to_csv(),
+                pa.to_csv(),
+                "{sid} CSV differs serial vs parallel"
+            );
+            assert_eq!(
+                sa.to_markdown(),
+                pa.to_markdown(),
+                "{sid} markdown differs serial vs parallel"
+            );
+        }
     }
 }

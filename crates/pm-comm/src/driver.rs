@@ -52,9 +52,7 @@ pub fn one_way_latency(config: &CommConfig, bytes: u32) -> Duration {
             }
         }
         let chunk = (total - drained).min(config.line_bytes);
-        recv_cursor = dir
-            .pop(recv_cursor, chunk)
-            .expect("pushes recorded above");
+        recv_cursor = dir.pop(recv_cursor, chunk).expect("pushes recorded above");
         drained += chunk;
     }
     let done = recv_cursor + dir.poll_cost() + config.sw_recv;
@@ -184,9 +182,7 @@ pub fn bidirectional_bandwidth(config: &CommConfig, bytes: u32) -> f64 {
     let line = config.line_bytes;
     let burst = (config.alternation_lines * line) as u64;
     loop {
-        let done = nodes
-            .iter()
-            .all(|n| n.sent >= total && n.received >= total);
+        let done = nodes.iter().all(|n| n.sent >= total && n.received >= total);
         if done {
             break;
         }
@@ -314,7 +310,10 @@ mod tests {
     #[test]
     fn unidirectional_small_messages_overhead_bound() {
         let bw = unidirectional_bandwidth(&cfg(), 16);
-        assert!(bw < 15.0, "16-byte messages {bw:.1} MB/s should be overhead-bound");
+        assert!(
+            bw < 15.0,
+            "16-byte messages {bw:.1} MB/s should be overhead-bound"
+        );
     }
 
     #[test]
@@ -325,7 +324,10 @@ mod tests {
             bi < 1.6 * uni,
             "Figure 12 effect: bidirectional {bi:.1} must fall short of 2x{uni:.1}"
         );
-        assert!(bi > uni * 0.8, "bidirectional {bi:.1} should still beat one direction {uni:.1}");
+        assert!(
+            bi > uni * 0.8,
+            "bidirectional {bi:.1} should still beat one direction {uni:.1}"
+        );
     }
 
     #[test]

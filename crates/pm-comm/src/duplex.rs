@@ -267,10 +267,7 @@ mod tests {
         // The CRC was computed before corruption, as if the wire flipped
         // a bit after the sending ASIC summed the payload.
         let sent = ch.send(Side::A, Time::ZERO, msg);
-        assert_eq!(
-            ch.recv(Side::B, sent).unwrap_err(),
-            RecvError::CrcMismatch
-        );
+        assert_eq!(ch.recv(Side::B, sent).unwrap_err(), RecvError::CrcMismatch);
     }
 
     #[test]

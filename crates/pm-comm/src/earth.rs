@@ -183,7 +183,11 @@ mod tests {
             (measured / expected - 1.0).abs() < 0.05,
             "single fiber {measured:.0} vs latency bound {expected:.0}"
         );
-        assert!(run.cpu_utilization < 0.25, "mostly idle: {:.2}", run.cpu_utilization);
+        assert!(
+            run.cpu_utilization < 0.25,
+            "mostly idle: {:.2}",
+            run.cpu_utilization
+        );
     }
 
     #[test]
@@ -198,7 +202,11 @@ mod tests {
             many.ops_per_sec(),
             one.ops_per_sec()
         );
-        assert!(many.cpu_utilization > 0.9, "CPU should saturate: {:.2}", many.cpu_utilization);
+        assert!(
+            many.cpu_utilization > 0.9,
+            "CPU should saturate: {:.2}",
+            many.cpu_utilization
+        );
     }
 
     #[test]

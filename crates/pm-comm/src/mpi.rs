@@ -312,7 +312,11 @@ impl MpiWorld {
             let right = (i + 1) % n;
             let left = (i + n - 1) % n;
             // On a two-rank ring both neighbours are the same rank.
-            let peers: &[usize] = if right == left { &[right] } else { &[right, left] };
+            let peers: &[usize] = if right == left {
+                &[right]
+            } else {
+                &[right, left]
+            };
             for &peer in peers {
                 if peer == i {
                     continue;

@@ -140,7 +140,10 @@ mod tests {
         }
         let s = ch.stats();
         assert_eq!(s.sent, 50);
-        assert!(s.crc_failures > 10, "50% loss should trigger retries: {s:?}");
+        assert!(
+            s.crc_failures > 10,
+            "50% loss should trigger retries: {s:?}"
+        );
         assert_eq!(s.transmissions, s.sent + s.crc_failures);
     }
 
@@ -151,8 +154,7 @@ mod tests {
             let mut t = Time::ZERO;
             let n = 64;
             for i in 0..n {
-                let (at, _) =
-                    ch.send_reliably(Side::A, t, Message::new(vec![i as u8; 128]));
+                let (at, _) = ch.send_reliably(Side::A, t, Message::new(vec![i as u8; 128]));
                 t = at;
             }
             (n as u64 * 128) as f64 / t.as_secs_f64() / 1e6

@@ -156,8 +156,16 @@ impl CpuConfig {
             // The x87 stack engine: a dependent faddp chain needs an fxch
             // per step (latency 4) and the stack port sustains one add
             // per two cycles.
-            fp_add: UnitTiming { count: 1, latency: 4, initiation: 2 },
-            fp_mul: UnitTiming { count: 1, latency: 5, initiation: 2 },
+            fp_add: UnitTiming {
+                count: 1,
+                latency: 4,
+                initiation: 2,
+            },
+            fp_mul: UnitTiming {
+                count: 1,
+                latency: 5,
+                initiation: 2,
+            },
             fp_div: UnitTiming::unpipelined(1, 32),
             fused_madd: false,
             max_outstanding_loads: 4,

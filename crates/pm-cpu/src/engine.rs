@@ -250,9 +250,8 @@ impl Cpu {
         // Reorder window: dispatch stalls while full.
         self.prune(dispatch);
         if self.inflight.len() >= self.config.reorder_window as usize {
-            let free_at = self.inflight[self.inflight.len() + 1
-                - self.config.reorder_window as usize
-                - 1];
+            let free_at =
+                self.inflight[self.inflight.len() + 1 - self.config.reorder_window as usize - 1];
             dispatch = self.bump_dispatch(free_at);
             self.prune(dispatch);
         }
@@ -351,8 +350,7 @@ impl Cpu {
                 let resolve = ready + cycle;
                 let correct = self.predictor.predict_and_update(info.pc, info.taken);
                 if !correct {
-                    self.restart_after =
-                        resolve + cycle * self.config.mispredict_penalty as u64;
+                    self.restart_after = resolve + cycle * self.config.mispredict_penalty as u64;
                 }
                 resolve
             }
@@ -558,7 +556,10 @@ mod tests {
             HierarchyConfig::pentium_node(1, 180.0, 60.0),
         );
         // Without load pipelining the 620 pays both misses back to back.
-        assert!(pm_ratio > 1.8, "620 two/one ratio {pm_ratio:.2} should be ~2");
+        assert!(
+            pm_ratio > 1.8,
+            "620 two/one ratio {pm_ratio:.2} should be ~2"
+        );
         // The PII's non-blocking loads hide a large part of the second miss.
         assert!(
             pc_ratio < pm_ratio,
@@ -639,7 +640,11 @@ mod tests {
         }
         let r = cpu.execute(tb.finish(), &mut mem, 0);
         // Four stores to the same cache line: buffered, only a few cycles.
-        assert!(r.cycles < 100, "stores should not stall: {} cycles", r.cycles);
+        assert!(
+            r.cycles < 100,
+            "stores should not stall: {} cycles",
+            r.cycles
+        );
         assert_eq!(r.stores, 4);
     }
 
@@ -699,7 +704,11 @@ mod stall_tests {
         let r = run(tb.finish());
         // A 3-cycle-latency chain issued 4-wide: almost all time is
         // operand wait, none is unit contention.
-        assert!(r.operand_stall > Duration::from_ns(800), "{:?}", r.operand_stall);
+        assert!(
+            r.operand_stall > Duration::from_ns(800),
+            "{:?}",
+            r.operand_stall
+        );
         assert_eq!(r.unit_stall, Duration::ZERO);
     }
 

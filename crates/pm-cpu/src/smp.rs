@@ -62,11 +62,7 @@ pub fn run_smp_at(
     start: Time,
 ) -> Vec<RunResult> {
     assert!(!configs.is_empty(), "need at least one CPU");
-    assert_eq!(
-        configs.len(),
-        traces.len(),
-        "one trace per CPU is required"
-    );
+    assert_eq!(configs.len(), traces.len(), "one trace per CPU is required");
     assert!(
         configs.len() <= mem.config().cpus,
         "more CPUs than memory ports"
@@ -193,7 +189,7 @@ mod tests {
         let run_machine = |mk_mem: &dyn Fn(usize) -> MemorySystem, cfg: &CpuConfig| -> f64 {
             let mut m1 = mk_mem(2);
             let single = run_smp(
-                &[cfg.clone()],
+                std::slice::from_ref(cfg),
                 vec![stream_kernel(0, lines)],
                 &mut m1,
             );

@@ -127,10 +127,7 @@ where
 /// Collects a loop body's lines up to the matching `}` (exclusive),
 /// handling nesting. The closing brace is appended so the replayed
 /// parser terminates each iteration.
-fn collect_body<'a, I>(
-    lines: &mut I,
-    open_line: usize,
-) -> Result<Vec<(usize, &'a str)>, ParseError>
+fn collect_body<'a, I>(lines: &mut I, open_line: usize) -> Result<Vec<(usize, &'a str)>, ParseError>
 where
     I: Iterator<Item = (usize, &'a str)>,
 {
@@ -209,7 +206,11 @@ fn parse_statement(line_no: usize, line: &str, counters: &[u64]) -> Result<Instr
                 "fmadd" => OpClass::FpMadd,
                 _ => unreachable!(),
             };
-            let (want_min, want_max) = if class == OpClass::FpMadd { (3, 3) } else { (1, 2) };
+            let (want_min, want_max) = if class == OpClass::FpMadd {
+                (3, 3)
+            } else {
+                (1, 2)
+            };
             if srcs.len() < want_min || srcs.len() > want_max {
                 return Err(err(
                     line_no,
@@ -237,11 +238,7 @@ fn parse_statement(line_no: usize, line: &str, counters: &[u64]) -> Result<Instr
 }
 
 /// `ADDR [+ i*K] [, WIDTH]`
-fn parse_addr_width(
-    line_no: usize,
-    text: &str,
-    counters: &[u64],
-) -> Result<(u64, u8), ParseError> {
+fn parse_addr_width(line_no: usize, text: &str, counters: &[u64]) -> Result<(u64, u8), ParseError> {
     let (addr_part, width) = match text.split_once(',') {
         Some((a, w)) => {
             let width: u8 = w
@@ -265,8 +262,8 @@ fn parse_addr_width(
                 _ => return Err(err(line_no, "induction variables are i, j, k")),
             }
             .ok_or_else(|| err(line_no, "induction variable outside its loop"))?;
-            let scale = parse_number(scale.trim())
-                .ok_or_else(|| err(line_no, "bad induction scale"))?;
+            let scale =
+                parse_number(scale.trim()).ok_or_else(|| err(line_no, "bad induction scale"))?;
             addr += counters[idx] * scale;
         } else {
             return Err(err(line_no, &format!("bad address term `{term}`")));
@@ -333,10 +330,8 @@ mod tests {
 
     #[test]
     fn nested_loops_use_i_and_j() {
-        let t = parse_kernel(
-            "loop 2 {\n loop 3 {\n r1 = load 0x0 + j*100 + i*10\n }\n}\n",
-        )
-        .unwrap();
+        let t =
+            parse_kernel("loop 2 {\n loop 3 {\n r1 = load 0x0 + j*100 + i*10\n }\n}\n").unwrap();
         let addrs: Vec<u64> = t.instrs().iter().map(|i| i.mem.unwrap().addr.0).collect();
         assert_eq!(addrs, vec![0, 10, 20, 100, 110, 120]);
     }

@@ -269,7 +269,9 @@ mod tests {
         let addr = 0x1234u64 & !63; // some line
         c.fill(addr, MesiState::Modified);
         let conflicting = addr + 8 * 64; // same set, next tag
-        let v = c.fill(conflicting, MesiState::Exclusive).expect("conflict eviction");
+        let v = c
+            .fill(conflicting, MesiState::Exclusive)
+            .expect("conflict eviction");
         assert_eq!(v.base_addr, addr);
     }
 
@@ -327,7 +329,7 @@ mod tests {
     fn capacity_working_set_behaviour() {
         // A working set larger than the cache keeps missing; smaller fits.
         let mut c = Cache::new(CacheGeometry::new(4096, 4, 64)); // 64 lines
-        // Fill 32 lines (fits).
+                                                                 // Fill 32 lines (fits).
         for i in 0..32u64 {
             if c.lookup(i * 64) == MesiState::Invalid {
                 c.fill(i * 64, MesiState::Exclusive);

@@ -28,7 +28,10 @@ impl CacheGeometry {
     /// Panics unless `line_bytes` and `ways` are nonzero powers of two and
     /// `size_bytes` is an exact multiple of `ways * line_bytes`.
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "associativity must be nonzero");
         let way_bytes = ways as u64 * line_bytes as u64;
         assert!(

@@ -399,7 +399,9 @@ impl MemorySystem {
         let new_state = fill_state(kind, remote_had_copy);
         if let Some(victim) = self.cpus[cpu].l2.fill(addr, new_state) {
             // Inclusive hierarchy: an L2 victim evicts its L1 copy too.
-            self.cpus[cpu].l1.set_state(victim.base_addr, MesiState::Invalid);
+            self.cpus[cpu]
+                .l1
+                .set_state(victim.base_addr, MesiState::Invalid);
             if victim.state.dirty() {
                 self.bus.data_only(cpu, data_at);
             }
@@ -519,8 +521,12 @@ impl MemorySystem {
             if other == cpu {
                 continue;
             }
-            self.cpus[other].l2.snoop_set_state(addr, MesiState::Invalid);
-            self.cpus[other].l1.snoop_set_state(addr, MesiState::Invalid);
+            self.cpus[other]
+                .l2
+                .snoop_set_state(addr, MesiState::Invalid);
+            self.cpus[other]
+                .l1
+                .snoop_set_state(addr, MesiState::Invalid);
         }
         self.cpus[cpu].l1.set_state(addr, MesiState::Modified);
         self.cpus[cpu].l2.set_state(addr, MesiState::Modified);
@@ -536,7 +542,9 @@ impl MemorySystem {
             if victim.state.dirty() {
                 // Write the dirty L1 victim down into L2 (no bus traffic;
                 // the L2 is private and on the module).
-                self.cpus[cpu].l2.set_state(victim.base_addr, MesiState::Modified);
+                self.cpus[cpu]
+                    .l2
+                    .set_state(victim.base_addr, MesiState::Modified);
             }
         }
     }

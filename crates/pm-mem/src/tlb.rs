@@ -109,7 +109,10 @@ impl Tlb {
     ///
     /// Panics unless ways divides entries and page size is a power of two.
     pub fn new(config: TlbConfig) -> Self {
-        assert!(config.page_bytes.is_power_of_two(), "page size power of two");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size power of two"
+        );
         assert!(
             config.ways > 0 && config.entries.is_multiple_of(config.ways),
             "ways must divide entries"

@@ -53,19 +53,31 @@ impl FlitSimResult {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Event {
-    /// Packet `idx` becomes available at its input FIFO.
-    Arrive(usize),
-    /// Packet `idx` finished streaming; its input and output free up.
-    Done(usize),
-}
-
-/// Wormhole crossbar state during a simulation run.
-struct Sim<'a> {
-    config: CrossbarConfig,
-    byte_time: Duration,
-    packets: &'a [Packet],
+/// A reusable wormhole-crossbar simulator.
+///
+/// All per-run state (per-port queues, waiter lists, the event queue,
+/// the arrival-order scratch) lives in this struct and is recycled
+/// between calls to [`FlitSim::run`], so an offered-load sweep that
+/// simulates hundreds of batches allocates its working set once instead
+/// of once per sweep point. [`simulate`] remains the one-shot
+/// convenience wrapper.
+///
+/// Two structural optimisations over the original event loop, both
+/// output-preserving:
+///
+/// * Arrivals never enter the event heap. The full arrival schedule is
+///   known up front, so the run merge-iterates a sorted arrival cursor
+///   against the heap, which then only ever holds in-flight completions
+///   — at most one per input port — instead of one event per packet.
+///   Simultaneous arrivals (every traffic generator emits bursts of
+///   them) cost an index increment, not a heap sift.
+/// * Waiter-list membership is tracked by a per-input flag, replacing
+///   the `VecDeque::contains` linear scan that ran once per blocked
+///   arbitration attempt.
+pub struct FlitSim {
+    /// In-flight completions only: packet idx, due when its worm's last
+    /// byte leaves the output port.
+    queue: EventQueue<usize>,
     /// Per-input queue of pending packet indices (head-of-line order).
     input_queue: Vec<VecDeque<usize>>,
     /// Per-input: streaming right now?
@@ -76,45 +88,135 @@ struct Sim<'a> {
     output_busy: Vec<bool>,
     /// Per-output: inputs whose head is blocked on this output, FIFO order.
     waiters: Vec<VecDeque<usize>>,
+    /// Per-input: already registered in some output's waiter list?
+    waiting: Vec<bool>,
+    /// Packet indices sorted by inject time (arrival cursor scratch).
+    order: Vec<usize>,
+    config: CrossbarConfig,
+    byte_time: Duration,
     completions: Vec<Time>,
     head_blocking: Histogram,
     finished_at: Time,
     payload_bytes: u64,
 }
 
-impl<'a> Sim<'a> {
-    fn new(config: CrossbarConfig, packets: &'a [Packet]) -> Self {
-        let ports = config.ports as usize;
-        Sim {
-            config,
+impl Default for FlitSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlitSim {
+    /// Creates a simulator with empty (lazily sized) buffers.
+    pub fn new() -> Self {
+        FlitSim {
+            queue: EventQueue::new(),
+            input_queue: Vec::new(),
+            input_busy: Vec::new(),
+            head_ready_at: Vec::new(),
+            output_busy: Vec::new(),
+            waiters: Vec::new(),
+            waiting: Vec::new(),
+            order: Vec::new(),
+            config: CrossbarConfig::powermanna(),
             byte_time: crate::wire::WireConfig::synchronous().byte_time,
-            packets,
-            input_queue: vec![VecDeque::new(); ports],
-            input_busy: vec![false; ports],
-            head_ready_at: vec![Time::ZERO; ports],
-            output_busy: vec![false; ports],
-            waiters: vec![VecDeque::new(); ports],
-            completions: vec![Time::ZERO; packets.len()],
+            completions: Vec::new(),
             head_blocking: Histogram::new("head_blocking_ns"),
             finished_at: Time::ZERO,
             payload_bytes: 0,
         }
     }
 
+    /// Resets all per-run state for `config`/`packets`, keeping buffers.
+    fn reset(&mut self, config: CrossbarConfig, packets: &[Packet]) {
+        let ports = config.ports as usize;
+        self.queue.clear();
+        self.input_queue.iter_mut().for_each(VecDeque::clear);
+        self.input_queue.resize_with(ports, VecDeque::new);
+        self.input_busy.clear();
+        self.input_busy.resize(ports, false);
+        self.head_ready_at.clear();
+        self.head_ready_at.resize(ports, Time::ZERO);
+        self.output_busy.clear();
+        self.output_busy.resize(ports, false);
+        self.waiters.iter_mut().for_each(VecDeque::clear);
+        self.waiters.resize_with(ports, VecDeque::new);
+        self.waiting.clear();
+        self.waiting.resize(ports, false);
+        self.order.clear();
+        self.order.extend(0..packets.len());
+        // Stable: simultaneous injections keep supplied order.
+        self.order.sort_by_key(|&i| packets[i].inject_at);
+        self.config = config;
+        self.completions = vec![Time::ZERO; packets.len()];
+        self.head_blocking = Histogram::new("head_blocking_ns");
+        self.finished_at = Time::ZERO;
+        self.payload_bytes = 0;
+    }
+
+    /// Simulates one packet batch; see [`simulate`] for the model.
+    /// Results are identical to a fresh simulator's — reuse only
+    /// recycles allocations, never state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet references a port outside the crossbar.
+    pub fn run(&mut self, config: CrossbarConfig, packets: &[Packet]) -> FlitSimResult {
+        for p in packets {
+            assert!(
+                p.input < config.ports && p.output < config.ports,
+                "packet references port outside the {}x{} crossbar",
+                config.ports,
+                config.ports
+            );
+        }
+        self.reset(config, packets);
+        // Merge the sorted arrival cursor with the completion heap. On a
+        // tie an arrival is handled first, matching the event order of
+        // the all-events-in-one-heap formulation (arrivals were
+        // scheduled first and the queue breaks ties by insertion order).
+        let mut cursor = 0;
+        while cursor < self.order.len() {
+            let at = packets[self.order[cursor]].inject_at;
+            if self.queue.peek_due().is_some_and(|d| d < at) {
+                let (now, idx) = self.queue.pop().expect("peeked event pops");
+                self.on_done(packets, idx, now);
+            } else {
+                let idx = self.order[cursor];
+                cursor += 1;
+                self.on_arrive(packets, idx, at);
+            }
+        }
+        // All packets injected; drain the in-flight completions.
+        while let Some((now, idx)) = self.queue.pop() {
+            self.on_done(packets, idx, now);
+        }
+        FlitSimResult {
+            completions: std::mem::take(&mut self.completions),
+            head_blocking: std::mem::replace(
+                &mut self.head_blocking,
+                Histogram::new("head_blocking_ns"),
+            ),
+            finished_at: self.finished_at,
+            payload_bytes: self.payload_bytes,
+        }
+    }
+
     /// Starts `input`'s head packet if the input is idle and its output
     /// is free; otherwise registers it as a waiter.
-    fn try_start(&mut self, input: usize, now: Time, q: &mut EventQueue<Event>) {
+    fn try_start(&mut self, packets: &[Packet], input: usize, now: Time) {
         if self.input_busy[input] {
             return;
         }
         let Some(&pkt_idx) = self.input_queue[input].front() else {
             return;
         };
-        let p = self.packets[pkt_idx];
+        let p = packets[pkt_idx];
         let out = p.output as usize;
         if self.output_busy[out] {
-            if !self.waiters[out].contains(&input) {
+            if !self.waiting[input] {
                 self.waiters[out].push_back(input);
+                self.waiting[input] = true;
             }
             return;
         }
@@ -133,20 +235,20 @@ impl<'a> Sim<'a> {
         self.completions[pkt_idx] = done;
         self.finished_at = self.finished_at.max(done);
         self.payload_bytes += u64::from(p.payload);
-        q.schedule(done, Event::Done(pkt_idx));
+        self.queue.schedule(done, pkt_idx);
     }
 
-    fn on_arrive(&mut self, idx: usize, now: Time, q: &mut EventQueue<Event>) {
-        let input = self.packets[idx].input as usize;
+    fn on_arrive(&mut self, packets: &[Packet], idx: usize, now: Time) {
+        let input = packets[idx].input as usize;
         self.input_queue[input].push_back(idx);
         if self.input_queue[input].len() == 1 && !self.input_busy[input] {
             self.head_ready_at[input] = now;
         }
-        self.try_start(input, now, q);
+        self.try_start(packets, input, now);
     }
 
-    fn on_done(&mut self, idx: usize, now: Time, q: &mut EventQueue<Event>) {
-        let p = self.packets[idx];
+    fn on_done(&mut self, packets: &[Packet], idx: usize, now: Time) {
+        let p = packets[idx];
         let input = p.input as usize;
         let out = p.output as usize;
         self.input_busy[input] = false;
@@ -156,11 +258,12 @@ impl<'a> Sim<'a> {
         // hardware arbiter rotates grants); the freeing input's own next
         // packet joins the back of the queue if it wants the same output.
         while let Some(waiter) = self.waiters[out].pop_front() {
+            self.waiting[waiter] = false;
             let wants = self.input_queue[waiter]
                 .front()
-                .is_some_and(|&i| self.packets[i].output == p.output);
+                .is_some_and(|&i| packets[i].output == p.output);
             if wants && !self.input_busy[waiter] {
-                self.try_start(waiter, now, q);
+                self.try_start(packets, waiter, now);
                 if self.output_busy[out] {
                     break;
                 }
@@ -169,7 +272,7 @@ impl<'a> Sim<'a> {
         // The freed input's next head may now arbitrate (or queue).
         if !self.input_queue[input].is_empty() {
             self.head_ready_at[input] = now;
-            self.try_start(input, now, q);
+            self.try_start(packets, input, now);
         }
     }
 }
@@ -202,33 +305,7 @@ impl<'a> Sim<'a> {
 /// assert_eq!(r.head_blocking.quantile(1.0), 1);
 /// ```
 pub fn simulate(config: CrossbarConfig, packets: &[Packet]) -> FlitSimResult {
-    for p in packets {
-        assert!(
-            p.input < config.ports && p.output < config.ports,
-            "packet references port outside the {}x{} crossbar",
-            config.ports,
-            config.ports
-        );
-    }
-    let mut sim = Sim::new(config, packets);
-    let mut q: EventQueue<Event> = EventQueue::new();
-    let mut order: Vec<usize> = (0..packets.len()).collect();
-    order.sort_by_key(|&i| packets[i].inject_at);
-    for &i in &order {
-        q.schedule(packets[i].inject_at, Event::Arrive(i));
-    }
-    while let Some((now, ev)) = q.pop() {
-        match ev {
-            Event::Arrive(i) => sim.on_arrive(i, now, &mut q),
-            Event::Done(i) => sim.on_done(i, now, &mut q),
-        }
-    }
-    FlitSimResult {
-        completions: sim.completions,
-        head_blocking: sim.head_blocking,
-        finished_at: sim.finished_at,
-        payload_bytes: sim.payload_bytes,
-    }
+    FlitSim::new().run(config, packets)
 }
 
 /// Generates `packets_per_input` packets on every input with uniformly
@@ -316,9 +393,8 @@ mod tests {
         }];
         let r = simulate(cfg(), &p);
         // route byte (16.7 ns) + decode (200 ns) + 65 bytes at link rate.
-        let expect = Duration::from_ps(16_667)
-            + Duration::from_ns(200)
-            + Duration::from_ps(16_667) * 65;
+        let expect =
+            Duration::from_ps(16_667) + Duration::from_ns(200) + Duration::from_ps(16_667) * 65;
         assert_eq!(r.completions[0], Time::ZERO + expect);
     }
 
@@ -382,9 +458,24 @@ mod tests {
         // The second must wait for the first even though its own output
         // is idle (wormhole, no virtual output queueing).
         let packets = vec![
-            Packet { input: 1, output: 5, payload: 4096, inject_at: Time::ZERO },
-            Packet { input: 0, output: 5, payload: 64, inject_at: Time::from_ps(1) },
-            Packet { input: 0, output: 9, payload: 64, inject_at: Time::from_ps(2) },
+            Packet {
+                input: 1,
+                output: 5,
+                payload: 4096,
+                inject_at: Time::ZERO,
+            },
+            Packet {
+                input: 0,
+                output: 5,
+                payload: 64,
+                inject_at: Time::from_ps(1),
+            },
+            Packet {
+                input: 0,
+                output: 9,
+                payload: 64,
+                inject_at: Time::from_ps(2),
+            },
         ];
         let r = simulate(cfg(), &packets);
         // Packet 2 cannot finish before packet 1 started draining, which
@@ -398,6 +489,31 @@ mod tests {
         let a = simulate(cfg(), &uniform_traffic(cfg(), 8, 128, 42));
         let b = simulate(cfg(), &uniform_traffic(cfg(), 8, 128, 42));
         assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn reused_simulator_matches_fresh_runs() {
+        // One FlitSim across a whole sweep (the hot-path allocation
+        // reuse) must produce bit-identical results to fresh simulators,
+        // including directly after a heavily-blocked hotspot run.
+        let mut sim = FlitSim::new();
+        for (per_input, payload, seed) in [(8u32, 128u32, 42u64), (4, 512, 7), (16, 64, 99)] {
+            for packets in [
+                uniform_traffic(cfg(), per_input, payload, seed),
+                hotspot_traffic(cfg(), per_input, payload),
+                permutation_traffic(cfg(), per_input, payload, 3),
+            ] {
+                let reused = sim.run(cfg(), &packets);
+                let fresh = simulate(cfg(), &packets);
+                assert_eq!(reused.completions, fresh.completions);
+                assert_eq!(reused.finished_at, fresh.finished_at);
+                assert_eq!(reused.payload_bytes, fresh.payload_bytes);
+                assert_eq!(
+                    reused.head_blocking.quantile(0.5),
+                    fresh.head_blocking.quantile(0.5)
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,18 +30,18 @@
 //! ```
 
 pub mod crossbar;
+pub mod fifo;
 pub mod flitsim;
 pub mod mesh;
-pub mod fifo;
 pub mod network;
 pub mod topology;
 pub mod transceiver;
 pub mod wire;
 
 pub use crossbar::{Crossbar, CrossbarConfig};
+pub use fifo::TimedFifo;
 pub use flitsim::{FlitSimResult, Packet};
 pub use mesh::{Mesh, MeshConfig};
-pub use fifo::TimedFifo;
 pub use network::{Connection, Network, RouteError};
 pub use topology::{LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};

@@ -115,13 +115,19 @@ impl Mesh {
         while x != dx {
             x = if x < dx { x + 1 } else { x - 1 };
             let next = y * w + x;
-            path.push(LinkId { from: cur, to: next });
+            path.push(LinkId {
+                from: cur,
+                to: next,
+            });
             cur = next;
         }
         while y != dy {
             y = if y < dy { y + 1 } else { y - 1 };
             let next = y * w + x;
-            path.push(LinkId { from: cur, to: next });
+            path.push(LinkId {
+                from: cur,
+                to: next,
+            });
             cur = next;
         }
         path
@@ -300,12 +306,20 @@ mod tests {
         let mut topo = Topology::with_nodes(16);
         let xb = topo.add_crossbar(crate::crossbar::CrossbarConfig::powermanna());
         for nid in 0..16 {
-            topo.connect_node(nid, 0, xb, nid as u32, crate::topology::LinkKind::Synchronous);
+            topo.connect_node(
+                nid,
+                0,
+                xb,
+                nid as u32,
+                crate::topology::LinkKind::Synchronous,
+            );
         }
         let mut net = Network::new(topo);
         let mut xb_finish = Time::ZERO;
         for &(a, b) in &pairs {
-            let mut c = net.open(a as usize, b as usize, 0, Time::ZERO).expect("route");
+            let mut c = net
+                .open(a as usize, b as usize, 0, Time::ZERO)
+                .expect("route");
             let done = c.transfer(&mut net, c.ready_at(), 2048);
             c.close(&mut net, done);
             xb_finish = xb_finish.max(done);

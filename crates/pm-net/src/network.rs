@@ -253,7 +253,9 @@ mod tests {
         c1.close(&mut net, done);
         // A second connection from the other node to the same destination
         // port must wait for the close.
-        let c2 = net.open(0, 1, 0, Time::ZERO).unwrap_or_else(|e| panic!("{e}"));
+        let c2 = net
+            .open(0, 1, 0, Time::ZERO)
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(c2.ready_at() >= done);
         assert!(net.crossbar(0).conflicts() >= 1);
     }
@@ -273,7 +275,10 @@ mod tests {
     #[test]
     fn no_path_is_an_error() {
         let mut net = Network::new(Topology::two_nodes());
-        assert_eq!(net.open(0, 0, 0, Time::ZERO).unwrap_err(), RouteError::NoPath);
+        assert_eq!(
+            net.open(0, 0, 0, Time::ZERO).unwrap_err(),
+            RouteError::NoPath
+        );
     }
 
     #[test]

@@ -177,10 +177,26 @@ impl Topology {
                 "crossbar port already connected"
             );
         }
-        self.xbar_ports
-            .insert((a, a_port), (Endpoint::Xbar { xbar: b, port: b_port }, kind));
-        self.xbar_ports
-            .insert((b, b_port), (Endpoint::Xbar { xbar: a, port: a_port }, kind));
+        self.xbar_ports.insert(
+            (a, a_port),
+            (
+                Endpoint::Xbar {
+                    xbar: b,
+                    port: b_port,
+                },
+                kind,
+            ),
+        );
+        self.xbar_ports.insert(
+            (b, b_port),
+            (
+                Endpoint::Xbar {
+                    xbar: a,
+                    port: a_port,
+                },
+                kind,
+            ),
+        );
     }
 
     /// Number of nodes.
@@ -316,7 +332,13 @@ impl Topology {
                 let x = t.add_crossbar(CrossbarConfig::powermanna());
                 *slot = x;
                 for local in 0..8 {
-                    t.connect_node(c * 8 + local, plane as u32, x, local as u32, LinkKind::Synchronous);
+                    t.connect_node(
+                        c * 8 + local,
+                        plane as u32,
+                        x,
+                        local as u32,
+                        LinkKind::Synchronous,
+                    );
                 }
             }
         }

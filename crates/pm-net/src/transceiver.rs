@@ -111,9 +111,11 @@ impl Transceiver {
         // Soft flow control must leave skid room: the stop signal takes a
         // cable round trip to bite, so the sender treats the FIFO as full
         // that many bytes early.
-        let usable = self.config.fifo_bytes - self.config.skid_bytes().min(self.config.fifo_bytes / 2);
+        let usable =
+            self.config.fifo_bytes - self.config.skid_bytes().min(self.config.fifo_bytes / 2);
         if self.fifo.level(t) + bytes > usable {
-            self.fifo.space_available(t, bytes + self.config.fifo_bytes - usable)?;
+            self.fifo
+                .space_available(t, bytes + self.config.fifo_bytes - usable)?;
         }
         let (_, wire_arrive) = self.wire.send(t + self.config.sync_latency, bytes);
         let landed = wire_arrive + self.config.flight_time() + self.config.sync_latency;
@@ -164,7 +166,11 @@ mod tests {
         // The FIFO exists precisely to cover the stop-signal round trip:
         // at 30 m the skid is a few dozen bytes, far below 2 KB.
         let cfg = TransceiverConfig::powermanna(30);
-        assert!(cfg.skid_bytes() < cfg.fifo_bytes / 4, "skid {}", cfg.skid_bytes());
+        assert!(
+            cfg.skid_bytes() < cfg.fifo_bytes / 4,
+            "skid {}",
+            cfg.skid_bytes()
+        );
     }
 
     #[test]
@@ -195,7 +201,7 @@ mod tests {
         while drained < total {
             if sent < total {
                 if let Some(arrive) = t.send(send_t, 64) {
-                    send_t = send_t.max(arrive - t.config().flight_time() * 2) ;
+                    send_t = send_t.max(arrive - t.config().flight_time() * 2);
                     sent += 64;
                     let _ = arrive;
                     continue;
@@ -216,15 +222,10 @@ mod tests {
         let mut t = Transceiver::new(cfg);
         let mut cursor = Time::ZERO;
         let mut pushed = 0u32;
-        loop {
-            match t.send(cursor, 64) {
-                Some(a) => {
-                    cursor = cursor.max(a);
-                    pushed += 64;
-                    assert!(pushed <= 4096, "flow control never engaged");
-                }
-                None => break,
-            }
+        while let Some(a) = t.send(cursor, 64) {
+            cursor = cursor.max(a);
+            pushed += 64;
+            assert!(pushed <= 4096, "flow control never engaged");
         }
         // A drain frees space.
         let at = t.drain(cursor, 64).expect("data queued");

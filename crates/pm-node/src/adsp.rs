@@ -249,12 +249,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate port")]
     fn duplicate_ports_rejected() {
-        AdspSwitch::new(
-            1,
-            36,
-            Duration::from_ns(16),
-            &[Port::Memory, Port::Memory],
-        );
+        AdspSwitch::new(1, 36, Duration::from_ns(16), &[Port::Memory, Port::Memory]);
     }
 
     #[test]

@@ -206,7 +206,10 @@ mod tests {
     fn grants_add_latency() {
         let mut d = Dispatcher::new(DispatcherConfig::powermanna());
         let g = d.begin(TransactionKind::Read, Time::ZERO);
-        assert_eq!(g.granted_at, Time::ZERO + DispatcherConfig::powermanna().grant_latency);
+        assert_eq!(
+            g.granted_at,
+            Time::ZERO + DispatcherConfig::powermanna().grant_latency
+        );
     }
 
     #[test]
@@ -276,7 +279,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "without recorded completions")]
     fn exhausted_pool_without_completions_panics() {
-        let mut d = Dispatcher::new(DispatcherConfig { tags: 2, grant_latency: NS });
+        let mut d = Dispatcher::new(DispatcherConfig {
+            tags: 2,
+            grant_latency: NS,
+        });
         d.begin(TransactionKind::Read, Time::ZERO);
         d.begin(TransactionKind::Read, Time::ZERO);
         d.begin(TransactionKind::Read, Time::ZERO);

@@ -35,6 +35,6 @@ pub use adsp::{AdspSwitch, Port};
 pub use crc::{crc16, Crc16};
 pub use dispatcher::{Dispatcher, DispatcherConfig, TransactionKind};
 pub use ni::{NiConfig, NiDirection};
+pub use node::{Node, NodeConfig};
 pub use pci::{PciBus, PciConfig};
 pub use regs::{decode, NiAccess, NiRegister};
-pub use node::{Node, NodeConfig};

@@ -276,15 +276,10 @@ mod tests {
         let mut dir = NiDirection::new(NiConfig::powermanna());
         let mut t = Time::ZERO;
         let mut pushed = 0u32;
-        loop {
-            match dir.push(t, 64) {
-                Some(done) => {
-                    t = done;
-                    pushed += 64;
-                    assert!(pushed <= 2048, "flow control never engaged");
-                }
-                None => break,
-            }
+        while let Some(done) = dir.push(t, 64) {
+            t = done;
+            pushed += 64;
+            assert!(pushed <= 2048, "flow control never engaged");
         }
         // Both FIFOs' worth (256 + 256) must fit before blocking.
         assert!(

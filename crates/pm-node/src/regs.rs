@@ -204,10 +204,7 @@ mod tests {
     fn ordinary_memory_is_not_device() {
         assert_eq!(decode(0x1000, false), Err(DecodeError::NotDevice));
         assert_eq!(decode(0, true), Err(DecodeError::NotDevice));
-        assert_eq!(
-            decode(LINK0_BASE - 8, true),
-            Err(DecodeError::NotDevice)
-        );
+        assert_eq!(decode(LINK0_BASE - 8, true), Err(DecodeError::NotDevice));
         assert_eq!(
             decode(LINK1_BASE + LINK_SPAN, true),
             Err(DecodeError::NotDevice)
@@ -225,10 +222,7 @@ mod tests {
     #[test]
     fn directions_enforced() {
         // Cannot read the send FIFO port, cannot write the status.
-        assert_eq!(
-            decode(LINK0_BASE, false),
-            Err(DecodeError::WrongDirection)
-        );
+        assert_eq!(decode(LINK0_BASE, false), Err(DecodeError::WrongDirection));
         assert_eq!(
             decode(LINK0_BASE + NiRegister::Status.offset(), true),
             Err(DecodeError::WrongDirection)

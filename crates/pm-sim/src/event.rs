@@ -107,11 +107,56 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
     }
 
+    /// Schedules a whole batch of events in one pass.
+    ///
+    /// On an empty queue this heapifies once (`O(n)`) instead of sifting
+    /// every event up individually (`O(n log n)`) — the fast path for
+    /// simulations like the flit-level crossbar that know their entire
+    /// arrival schedule up front, typically with many simultaneous
+    /// events that would each pay a full sift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any due-time lies in the past, like [`EventQueue::schedule`].
+    pub fn schedule_batch(&mut self, events: impl IntoIterator<Item = (Time, E)>) {
+        if self.heap.is_empty() {
+            let mut staged: Vec<Scheduled<E>> = std::mem::take(&mut self.heap).into_vec();
+            for (due, payload) in events {
+                assert!(
+                    due >= self.now,
+                    "scheduled event in the past: {due} < now {}",
+                    self.now
+                );
+                staged.push(Scheduled {
+                    due,
+                    seq: self.next_seq,
+                    payload,
+                });
+                self.next_seq += 1;
+            }
+            self.heap = BinaryHeap::from(staged);
+        } else {
+            for (due, payload) in events {
+                self.schedule(due, payload);
+            }
+        }
+    }
+
     /// Removes and returns the earliest event, advancing [`EventQueue::now`].
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let ev = self.heap.pop()?;
         self.now = ev.due;
         Some((ev.due, ev.payload))
+    }
+
+    /// Empties the queue and rewinds the clock to [`Time::ZERO`],
+    /// keeping the heap's allocation for reuse — sweeps that run many
+    /// simulations back to back clear one queue instead of allocating a
+    /// fresh one per point.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = Time::ZERO;
     }
 
     /// Returns the due-time of the next event without removing it.
@@ -172,6 +217,77 @@ mod tests {
         q.schedule(Time::from_ps(10), ());
         q.pop();
         q.schedule(Time::from_ps(3), ());
+    }
+
+    #[test]
+    fn schedule_batch_matches_individual_schedules() {
+        let mut batched = EventQueue::new();
+        let mut individual = EventQueue::new();
+        let events: Vec<(Time, u64)> = (0..64).map(|i| (Time::from_ps(i % 7), i)).collect();
+        batched.schedule_batch(events.iter().copied());
+        for &(t, p) in &events {
+            individual.schedule(t, p);
+        }
+        let drain = |q: &mut EventQueue<u64>| -> Vec<(Time, u64)> {
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        assert_eq!(drain(&mut batched), drain(&mut individual));
+    }
+
+    #[test]
+    fn clear_rewinds_and_allows_reuse() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(10), 1);
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Time::ZERO);
+        // After clear, earlier times are schedulable again.
+        q.schedule(Time::from_ps(3), 2);
+        assert_eq!(q.pop(), Some((Time::from_ps(3), 2)));
+    }
+
+    #[test]
+    fn stress_10k_interleaved_same_instant_events() {
+        // 10k events over a handful of instants, scheduled in a
+        // SimRng-shuffled interleaving: pops must come back sorted by
+        // (time, insertion order) — the queue's entire determinism
+        // contract — and a reused (cleared) queue must replay the exact
+        // same order.
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from(0xE7E7);
+        let schedule: Vec<(Time, u64)> = (0..10_000u64)
+            .map(|seq| (Time::from_ps(rng.gen_range(0, 16) * 100), seq))
+            .collect();
+
+        let run = |q: &mut EventQueue<u64>| -> Vec<(Time, u64)> {
+            // Half scheduled up front in a single batch, half trickled in
+            // while draining — interleaving same-instant inserts with pops.
+            q.schedule_batch(schedule[..5_000].iter().copied());
+            let mut popped = Vec::with_capacity(schedule.len());
+            for &(t, seq) in schedule[5_000..].iter() {
+                q.schedule(t.max(q.now()), seq);
+                if let Some(ev) = q.pop() {
+                    popped.push(ev);
+                }
+            }
+            while let Some(ev) = q.pop() {
+                popped.push(ev);
+            }
+            popped
+        };
+
+        let mut q = EventQueue::new();
+        let first = run(&mut q);
+        assert_eq!(first.len(), 10_000);
+        // Time never goes backwards, and same-instant events pop FIFO
+        // for the batch-scheduled prefix (identical payload ordering is
+        // checked via the replay below for the trickled half, whose
+        // due-times depend on pop progress).
+        assert!(first.windows(2).all(|w| w[0].0 <= w[1].0));
+        q.clear();
+        let replay = run(&mut q);
+        assert_eq!(first, replay);
     }
 
     #[test]

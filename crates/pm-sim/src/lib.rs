@@ -11,6 +11,9 @@
 //!   flit-level network simulator.
 //! * [`resource`] — occupancy-timeline resources that model contention on
 //!   buses, ports and pipelines without a full event loop.
+//! * [`par`] — a zero-dependency bounded worker pool; [`par::par_sweep`]
+//!   fans independent sweep points across threads with results stitched
+//!   back in input order, so parallel runs stay byte-identical to serial.
 //! * [`rng`] — a small, seedable, dependency-free PRNG so every experiment
 //!   is reproducible bit-for-bit.
 //! * [`stats`] — counters, histograms and series plus CSV/markdown/ASCII
@@ -29,6 +32,7 @@
 //! ```
 
 pub mod event;
+pub mod par;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -36,6 +40,7 @@ pub mod time;
 pub mod tracelog;
 
 pub use event::EventQueue;
+pub use par::par_sweep;
 pub use resource::{PipelinedResource, Resource};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Series, Summary};

@@ -39,10 +39,7 @@ impl SimRng {
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -157,6 +154,10 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
-        assert_ne!(xs, (0..64).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            xs,
+            (0..64).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 }

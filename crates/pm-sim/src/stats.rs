@@ -426,7 +426,11 @@ impl Figure {
     /// Renders the figure as a markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "### {} — {} vs {}", self.id, self.y_label, self.x_label);
+        let _ = writeln!(
+            out,
+            "### {} — {} vs {}",
+            self.id, self.y_label, self.x_label
+        );
         let _ = write!(out, "| {} |", self.x_label);
         for s in &self.series {
             let _ = write!(out, " {} |", s.name());
@@ -569,7 +573,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -701,7 +709,7 @@ mod tests {
         let q50 = h.quantile(0.5);
         let q99 = h.quantile(0.99);
         assert!(q50 <= q99);
-        assert!(q50 >= 256 && q50 <= 512, "q50 {q50}");
+        assert!((256..=512).contains(&q50), "q50 {q50}");
     }
 
     #[test]

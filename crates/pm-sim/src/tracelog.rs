@@ -143,7 +143,13 @@ impl TraceLog {
                 Level::Info => "INF",
                 Level::Warn => "WRN",
             };
-            let _ = writeln!(out, "[{:>14}] {lvl} {:<8} {}", format!("{}", e.at), e.component, e.message);
+            let _ = writeln!(
+                out,
+                "[{:>14}] {lvl} {:<8} {}",
+                format!("{}", e.at),
+                e.component,
+                e.message
+            );
         }
         out
     }

@@ -45,7 +45,10 @@ impl BlockedMatMult {
     /// adding model fidelity).
     pub fn new(n: usize, tile: usize) -> Self {
         assert!(n > 0 && tile > 0, "dimensions must be nonzero");
-        assert!(n.is_multiple_of(tile), "tile must divide the matrix dimension");
+        assert!(
+            n.is_multiple_of(tile),
+            "tile must divide the matrix dimension"
+        );
         let stride = if n % 2 == 1 { n } else { n + 1 };
         BlockedMatMult { n, tile, stride }
     }
@@ -103,10 +106,7 @@ impl BlockedMatMult {
                             let mut acc = tb.load(c_row + j as u64 * ELEM, 8);
                             for k in kk..kk + t {
                                 let a = tb.load(a_row + k as u64 * ELEM, 8);
-                                let b = tb.load(
-                                    B_BASE + k as u64 * stride_b + j as u64 * ELEM,
-                                    8,
-                                );
+                                let b = tb.load(B_BASE + k as u64 * stride_b + j as u64 * ELEM, 8);
                                 acc = tb.fmadd(a, b, acc);
                                 tb.branch(0x300, k + 1 != kk + t, None);
                             }

@@ -203,7 +203,10 @@ mod tests {
                 .filter(|&a| a >= base && a < base + 0x1000_0000)
                 .take(8)
                 .collect();
-            addrs.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect()
+            addrs
+                .windows(2)
+                .map(|w| w[1] as i64 - w[0] as i64)
+                .collect()
         };
         let naive_strides = strides(&naive, B_BASE);
         let trans_strides = strides(&trans, BT_BASE);

@@ -43,7 +43,10 @@ impl Stencil {
     /// Panics if either dimension is zero or `width < 3` (a 5-point
     /// stencil needs left/right neighbours).
     pub fn new(width: usize, rows: usize) -> Self {
-        assert!(width >= 3 && rows > 0, "slab too small for a 5-point stencil");
+        assert!(
+            width >= 3 && rows > 0,
+            "slab too small for a 5-point stencil"
+        );
         Stencil { width, rows }
     }
 
@@ -80,10 +83,7 @@ impl Stencil {
     ///
     /// Panics on an empty or out-of-range row range.
     pub fn sweep_rows(&self, row_begin: usize, row_end: usize) -> Trace {
-        assert!(
-            row_begin < row_end && row_end <= self.rows,
-            "bad row range"
-        );
+        assert!(row_begin < row_end && row_end <= self.rows, "bad row range");
         let mut tb = TraceBuilder::new();
         let w = self.width as u64;
         let row_bytes = w * ELEM;
@@ -153,13 +153,13 @@ mod tests {
             .instrs()
             .iter()
             .filter_map(|i| i.mem.map(|m| m.addr.0))
-            .filter(|&a| a >= SRC_BASE + 2 * 16 * 8 && a < SRC_BASE + 3 * 16 * 8)
+            .filter(|&a| (SRC_BASE + 2 * 16 * 8..SRC_BASE + 3 * 16 * 8).contains(&a))
             .collect();
         let mid_of_1: Vec<u64> = t1
             .instrs()
             .iter()
             .filter_map(|i| i.mem.map(|m| m.addr.0))
-            .filter(|&a| a >= SRC_BASE + 2 * 16 * 8 && a < SRC_BASE + 3 * 16 * 8)
+            .filter(|&a| (SRC_BASE + 2 * 16 * 8..SRC_BASE + 3 * 16 * 8).contains(&a))
             .collect();
         assert!(!down_of_0.is_empty());
         assert!(mid_of_1.len() > down_of_0.len() / 2);

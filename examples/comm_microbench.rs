@@ -18,7 +18,10 @@ fn main() {
     let sizes = [8u32, 64, 256, 1024, 4096, 16384, 65536];
 
     println!("One-way latency [us] (Figure 9)");
-    println!("{:>8} {:>12} {:>8} {:>8}", "bytes", "PowerMANNA", "BIP", "FM");
+    println!(
+        "{:>8} {:>12} {:>8} {:>8}",
+        "bytes", "PowerMANNA", "BIP", "FM"
+    );
     for &n in &sizes {
         println!(
             "{:>8} {:>12.2} {:>8.2} {:>8.2}",
@@ -30,7 +33,10 @@ fn main() {
     }
 
     println!("\nMessage-sending time at saturation [us] (Figure 10)");
-    println!("{:>8} {:>12} {:>8} {:>8}", "bytes", "PowerMANNA", "BIP", "FM");
+    println!(
+        "{:>8} {:>12} {:>8} {:>8}",
+        "bytes", "PowerMANNA", "BIP", "FM"
+    );
     for &n in &sizes {
         println!(
             "{:>8} {:>12.2} {:>8.2} {:>8.2}",
@@ -42,7 +48,10 @@ fn main() {
     }
 
     println!("\nUnidirectional bandwidth [Mbyte/s] (Figure 11)");
-    println!("{:>8} {:>12} {:>8} {:>8}", "bytes", "PowerMANNA", "BIP", "FM");
+    println!(
+        "{:>8} {:>12} {:>8} {:>8}",
+        "bytes", "PowerMANNA", "BIP", "FM"
+    );
     for &n in &sizes {
         println!(
             "{:>8} {:>12.1} {:>8.1} {:>8.1}",
@@ -54,7 +63,10 @@ fn main() {
     }
 
     println!("\nBidirectional aggregate bandwidth [Mbyte/s] (Figure 12)");
-    println!("{:>8} {:>12} {:>8} {:>8}", "bytes", "PowerMANNA", "BIP", "FM");
+    println!(
+        "{:>8} {:>12} {:>8} {:>8}",
+        "bytes", "PowerMANNA", "BIP", "FM"
+    );
     for &n in &sizes {
         println!(
             "{:>8} {:>12.1} {:>8.1} {:>8.1}",

@@ -27,8 +27,9 @@ loop 8 {
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEFAULT_KERNEL.to_string(),
     };
     let trace = match parse_kernel(&text) {

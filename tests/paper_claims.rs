@@ -46,7 +46,10 @@ fn figure11_link_limits() {
     assert!((52.0..60.5).contains(&pm), "PM saturation {pm:.1} MB/s");
     // Myrinet's PCI-limited 132 MB/s headroom: BIP passes PowerMANNA.
     let cross = LoggpModel::bip().unidirectional_bandwidth(65536);
-    assert!(cross > pm, "BIP large-message {cross:.1} must exceed {pm:.1}");
+    assert!(
+        cross > pm,
+        "BIP large-message {cross:.1} must exceed {pm:.1}"
+    );
 }
 
 /// §5.2: "Apparently, PowerMANNA suffers from too small FIFOs in the
@@ -144,7 +147,11 @@ fn network_routing_claims() {
                 continue;
             }
             let r = big.route(a, b, 0).expect("route");
-            assert!(r.crossbars() <= 3, "{a}->{b} uses {} crossbars", r.crossbars());
+            assert!(
+                r.crossbars() <= 3,
+                "{a}->{b} uses {} crossbars",
+                r.crossbars()
+            );
         }
     }
 }

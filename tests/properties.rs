@@ -1,4 +1,11 @@
 //! Property-based tests spanning the workspace's core data structures.
+//!
+//! These used to run under `proptest`; they are now driven by the
+//! in-repo deterministic [`SimRng`] so the whole workspace builds and
+//! tests with an empty cargo registry (see the "no external
+//! dependencies" policy in DESIGN.md). Each property draws a fixed
+//! number of pseudo-random cases from a fixed seed, so failures are
+//! exactly reproducible — rerun the test, get the same cases.
 
 use powermanna::isa::{Instr, Trace};
 use powermanna::mem::{Access, Cache, CacheGeometry, HierarchyConfig, MemorySystem, MesiState};
@@ -7,46 +14,77 @@ use powermanna::net::topology::Topology;
 use powermanna::node::crc::{crc16, Crc16};
 use powermanna::sim::rng::SimRng;
 use powermanna::sim::time::{Clock, Duration, Time};
-use proptest::prelude::*;
 
-proptest! {
-    /// Clock conversion never drifts: time_of_cycle is additive.
-    #[test]
-    fn clock_cycles_compose(khz in 1_000u64..1_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+/// One generator per property, derived from a property-specific tag so
+/// adding cases to one test never shifts another test's inputs.
+fn cases(tag: u64) -> SimRng {
+    SimRng::seed_from(0x50776D_414E4E41 ^ tag)
+}
+
+/// Clock conversion never drifts: time_of_cycle is additive.
+#[test]
+fn clock_cycles_compose() {
+    let mut rng = cases(1);
+    for _ in 0..256 {
+        let khz = rng.gen_range(1_000, 1_000_000);
+        let a = rng.gen_range(0, 1_000_000);
+        let b = rng.gen_range(0, 1_000_000);
         let clk = Clock::from_khz(khz);
         let sum = clk.time_of_cycle(a + b).as_ps() as i128;
         let parts = clk.duration_of(a).as_ps() as i128 + clk.duration_of(b).as_ps() as i128;
         // Rounded once vs twice: differ by at most one picosecond.
-        prop_assert!((sum - parts).abs() <= 1, "{sum} vs {parts}");
+        assert!(
+            (sum - parts).abs() <= 1,
+            "khz={khz} a={a} b={b}: {sum} vs {parts}"
+        );
     }
+}
 
-    /// cycle_at inverts time_of_cycle.
-    #[test]
-    fn clock_cycle_roundtrip(khz in 1_000u64..1_000_000, n in 0u64..10_000_000) {
+/// cycle_at inverts time_of_cycle.
+#[test]
+fn clock_cycle_roundtrip() {
+    let mut rng = cases(2);
+    for _ in 0..256 {
+        let khz = rng.gen_range(1_000, 1_000_000);
+        let n = rng.gen_range(0, 10_000_000);
         let clk = Clock::from_khz(khz);
         let t = clk.time_of_cycle(n);
         let back = clk.cycle_at(t);
-        prop_assert!(back == n || back == n.saturating_sub(1) || back == n + 1);
+        assert!(
+            back == n || back == n.saturating_sub(1) || back == n + 1,
+            "khz={khz} n={n} back={back}"
+        );
     }
+}
 
-    /// Duration arithmetic is associative over sums.
-    #[test]
-    fn duration_sum_order_free(mut xs in proptest::collection::vec(0u64..1_000_000_000, 1..20)) {
+/// Duration arithmetic is associative over sums.
+#[test]
+fn duration_sum_order_free() {
+    let mut rng = cases(3);
+    for _ in 0..128 {
+        let len = rng.gen_range(1, 20) as usize;
+        let mut xs: Vec<u64> = (0..len).map(|_| rng.gen_range(0, 1_000_000_000)).collect();
         let fwd: Duration = xs.iter().map(|&x| Duration::from_ps(x)).sum();
         xs.reverse();
         let rev: Duration = xs.iter().map(|&x| Duration::from_ps(x)).sum();
-        prop_assert_eq!(fwd, rev);
+        assert_eq!(fwd, rev);
     }
+}
 
-    /// The FIFO's occupancy equals pushes minus pops at every probe point,
-    /// and never exceeds capacity when gated by space_available.
-    #[test]
-    fn fifo_occupancy_invariant(ops in proptest::collection::vec((0u8..2, 1u32..65), 1..200)) {
+/// The FIFO's occupancy equals pushes minus pops at every probe point,
+/// and never exceeds capacity when gated by space_available.
+#[test]
+fn fifo_occupancy_invariant() {
+    let mut rng = cases(4);
+    for _ in 0..64 {
+        let n_ops = rng.gen_range(1, 200) as usize;
         let mut f = TimedFifo::new(256);
         let mut t = Time::ZERO;
         let mut level: i64 = 0;
-        for (kind, bytes) in ops {
-            t = t + Duration::from_ns(10);
+        for _ in 0..n_ops {
+            let kind = rng.gen_range(0, 2);
+            let bytes = rng.gen_range(1, 65) as u32;
+            t += Duration::from_ns(10);
             if kind == 0 {
                 if let Some(at) = f.space_available(t, bytes) {
                     let at = at.max(t);
@@ -61,36 +99,52 @@ proptest! {
                     level -= i64::from(bytes);
                 }
             }
-            prop_assert!(level >= 0 && level <= 256);
-            prop_assert_eq!(i64::from(f.level(t)), level);
+            assert!((0..=256).contains(&level));
+            assert_eq!(i64::from(f.level(t)), level);
         }
     }
+}
 
-    /// A cache never holds more lines than its capacity, and a probe after
-    /// fill always finds the line (until something evicts it).
-    #[test]
-    fn cache_capacity_invariant(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+/// A cache never holds more lines than its capacity, and a probe after
+/// fill always finds the line (until something evicts it).
+#[test]
+fn cache_capacity_invariant() {
+    let mut rng = cases(5);
+    for _ in 0..32 {
+        let n_addrs = rng.gen_range(1, 300) as usize;
         let geometry = CacheGeometry::new(4096, 2, 64);
         let mut c = Cache::new(geometry);
-        for addr in addrs {
+        for _ in 0..n_addrs {
+            let addr = rng.gen_range(0, 1_000_000);
             let base = geometry.line_base(addr);
             if c.lookup(base) == MesiState::Invalid {
                 c.fill(base, MesiState::Exclusive);
             }
-            prop_assert!(c.resident_lines() as u64 <= geometry.size_bytes() / 64);
-            prop_assert!(c.probe(base) != MesiState::Invalid);
+            assert!(c.resident_lines() as u64 <= geometry.size_bytes() / 64);
+            assert!(c.probe(base) != MesiState::Invalid);
         }
     }
+}
 
-    /// MESI single-writer invariant: after any access pattern from two
-    /// CPUs, a line is never Modified/Exclusive in both caches at once.
-    #[test]
-    fn mesi_single_writer(ops in proptest::collection::vec((0usize..2, 0u64..4, 0u8..2), 1..120)) {
+/// MESI single-writer invariant: after any access pattern from two
+/// CPUs, a line is never Modified/Exclusive in both caches at once.
+#[test]
+fn mesi_single_writer() {
+    let mut rng = cases(6);
+    for _ in 0..32 {
+        let n_ops = rng.gen_range(1, 120) as usize;
         let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(2));
         let mut t = Time::ZERO;
-        for (cpu, line, write) in ops {
+        for _ in 0..n_ops {
+            let cpu = rng.gen_range(0, 2) as usize;
+            let line = rng.gen_range(0, 4);
+            let write = rng.gen_range(0, 2) == 1;
             let addr = line * 64;
-            let access = if write == 1 { Access::write(addr) } else { Access::read(addr) };
+            let access = if write {
+                Access::write(addr)
+            } else {
+                Access::read(addr)
+            };
             let r = mem.access(cpu, access, t);
             t = r.done_at;
         }
@@ -103,71 +157,113 @@ proptest! {
             let r1 = mem.access(1, Access::read(line * 64), r0.done_at);
             t = r1.done_at;
         }
-        prop_assert!(mem.interventions() <= 200);
+        assert!(mem.interventions() <= 200);
     }
+}
 
-    /// CRC catches every single-bit corruption.
-    #[test]
-    fn crc_detects_single_bit(data in proptest::collection::vec(any::<u8>(), 1..64), byte in 0usize..64, bit in 0u8..8) {
+/// CRC catches every single-bit corruption.
+#[test]
+fn crc_detects_single_bit() {
+    let mut rng = cases(7);
+    for _ in 0..128 {
+        let len = rng.gen_range(1, 64) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0, 256) as u8).collect();
         let sum = crc16(&data);
         let mut bad = data.clone();
-        let idx = byte % bad.len();
+        let idx = rng.gen_range(0, 64) as usize % bad.len();
+        let bit = rng.gen_range(0, 8) as u8;
         bad[idx] ^= 1 << bit;
-        prop_assert!(!Crc16::verify(&bad, sum));
+        assert!(
+            !Crc16::verify(&bad, sum),
+            "flip at byte {idx} bit {bit} undetected"
+        );
     }
+}
 
-    /// CRC is stable under chunked computation.
-    #[test]
-    fn crc_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..256), split in 0usize..256) {
-        let split = split.min(data.len());
+/// CRC is stable under chunked computation.
+#[test]
+fn crc_chunking_invariant() {
+    let mut rng = cases(8);
+    for _ in 0..128 {
+        let len = rng.gen_range(0, 256) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0, 256) as u8).collect();
+        let split = (rng.gen_range(0, 256) as usize).min(data.len());
         let mut inc = Crc16::new();
         inc.update(&data[..split]);
         inc.update(&data[split..]);
-        prop_assert_eq!(inc.finish(), crc16(&data));
+        assert_eq!(inc.finish(), crc16(&data));
     }
+}
 
-    /// Every node pair in the 256-processor system routes on both planes
-    /// with at most three crossbars, and routes are symmetric in length.
-    #[test]
-    fn system256_routing_properties(a in 0usize..128, b in 0usize..128, plane in 0u32..2) {
-        prop_assume!(a != b);
-        let topo = Topology::system256();
+/// Every node pair in the 256-processor system routes on both planes
+/// with at most three crossbars, and routes are symmetric in length.
+#[test]
+fn system256_routing_properties() {
+    let mut rng = cases(9);
+    let topo = Topology::system256();
+    for _ in 0..128 {
+        let a = rng.gen_range(0, 128) as usize;
+        let b = rng.gen_range(0, 128) as usize;
+        if a == b {
+            continue;
+        }
+        let plane = rng.gen_range(0, 2) as u32;
         let fwd = topo.route(a, b, plane).expect("route exists");
         let rev = topo.route(b, a, plane).expect("reverse route exists");
-        prop_assert!(fwd.crossbars() <= 3);
-        prop_assert_eq!(fwd.crossbars(), rev.crossbars());
+        assert!(fwd.crossbars() <= 3);
+        assert_eq!(fwd.crossbars(), rev.crossbars());
     }
+}
 
-    /// The deterministic RNG respects requested ranges.
-    #[test]
-    fn rng_range_property(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
-        let mut rng = SimRng::seed_from(seed);
+/// The deterministic RNG respects requested ranges.
+#[test]
+fn rng_range_property() {
+    let mut rng = cases(10);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let lo = rng.gen_range(0, 1000);
+        let span = rng.gen_range(1, 1000);
+        let mut r = SimRng::seed_from(seed);
         for _ in 0..50 {
-            let v = rng.gen_range(lo, lo + span);
-            prop_assert!((lo..lo + span).contains(&v));
+            let v = r.gen_range(lo, lo + span);
+            assert!((lo..lo + span).contains(&v));
         }
     }
+}
 
-    /// Trace statistics equal a recount over the instruction stream.
-    #[test]
-    fn trace_stats_match_recount(n_loads in 0usize..40, n_stores in 0usize..40) {
+/// Trace statistics equal a recount over the instruction stream.
+#[test]
+fn trace_stats_match_recount() {
+    let mut rng = cases(11);
+    for _ in 0..64 {
+        let n_loads = rng.gen_range(0, 40) as usize;
+        let n_stores = rng.gen_range(0, 40) as usize;
         let mut instrs = Vec::new();
         for i in 0..n_loads {
-            instrs.push(Instr::load(powermanna::isa::Reg(i as u16), powermanna::isa::VAddr(i as u64 * 8), 8, None));
+            instrs.push(Instr::load(
+                powermanna::isa::Reg(i as u16),
+                powermanna::isa::VAddr(i as u64 * 8),
+                8,
+                None,
+            ));
         }
         for i in 0..n_stores {
-            instrs.push(Instr::store(powermanna::isa::Reg(i as u16), powermanna::isa::VAddr(i as u64 * 8), 8));
+            instrs.push(Instr::store(
+                powermanna::isa::Reg(i as u16),
+                powermanna::isa::VAddr(i as u64 * 8),
+                8,
+            ));
         }
         let trace = Trace::from_instrs(instrs);
-        prop_assert_eq!(trace.stats().loads, n_loads as u64);
-        prop_assert_eq!(trace.stats().stores, n_stores as u64);
-        prop_assert_eq!(trace.stats().instrs, (n_loads + n_stores) as u64);
+        assert_eq!(trace.stats().loads, n_loads as u64);
+        assert_eq!(trace.stats().stores, n_stores as u64);
+        assert_eq!(trace.stats().instrs, (n_loads + n_stores) as u64);
     }
 }
 
 /// Memory-system latency is monotone under contention: adding a second
 /// CPU's traffic never makes the first CPU's identical access stream
-/// complete earlier. (Not a proptest: a fixed adversarial schedule.)
+/// complete earlier. (Not randomised: a fixed adversarial schedule.)
 #[test]
 fn contention_is_monotone() {
     let stream = |mem: &mut MemorySystem, cpu: usize| -> Time {
@@ -197,12 +293,14 @@ use powermanna::isa::parse_kernel;
 use powermanna::net::crossbar::CrossbarConfig;
 use powermanna::net::flitsim;
 
-proptest! {
-    /// Executing a prefix of a trace never takes longer than the whole
-    /// trace (time is monotone in work).
-    #[test]
-    fn cpu_time_monotone_in_work(n in 2usize..200, cut in 1usize..200) {
-        let cut = cut.min(n - 1);
+/// Executing a prefix of a trace never takes longer than the whole
+/// trace (time is monotone in work).
+#[test]
+fn cpu_time_monotone_in_work() {
+    let mut rng = cases(12);
+    for _ in 0..24 {
+        let n = rng.gen_range(2, 200) as usize;
+        let cut = (rng.gen_range(1, 200) as usize).min(n - 1).max(1);
         let mut tb = powermanna::isa::TraceBuilder::new();
         for i in 0..n as u64 {
             tb.load((i * 72) % 65536, 8);
@@ -215,38 +313,54 @@ proptest! {
             let mut cpu = Cpu::new(CpuConfig::mpc620());
             cpu.execute(t, &mut mem, 0).elapsed
         };
-        prop_assert!(run(prefix) <= run(full));
+        assert!(run(prefix) <= run(full), "n={n} cut={cut}");
     }
+}
 
-    /// The flit simulator conserves packets and payload for any traffic.
-    #[test]
-    fn flitsim_conserves_payload(per_input in 1u32..8, payload in 1u32..512, seed in any::<u64>()) {
+/// The flit simulator conserves packets and payload for any traffic.
+#[test]
+fn flitsim_conserves_payload() {
+    let mut rng = cases(13);
+    for _ in 0..24 {
+        let per_input = rng.gen_range(1, 8) as u32;
+        let payload = rng.gen_range(1, 512) as u32;
+        let seed = rng.next_u64();
         let cfg = CrossbarConfig::powermanna();
         let packets = flitsim::uniform_traffic(cfg, per_input, payload, seed);
         let r = flitsim::simulate(cfg, &packets);
-        prop_assert_eq!(r.completions.len(), packets.len());
-        prop_assert_eq!(r.payload_bytes, (packets.len() as u64) * u64::from(payload));
-        prop_assert!(r.completions.iter().all(|&c| c > Time::ZERO));
+        assert_eq!(r.completions.len(), packets.len());
+        assert_eq!(r.payload_bytes, (packets.len() as u64) * u64::from(payload));
+        assert!(r.completions.iter().all(|&c| c > Time::ZERO));
         // Aggregate throughput can never exceed all 16 links flat out.
-        prop_assert!(r.throughput_mbs() <= 16.0 * 60.5);
+        assert!(r.throughput_mbs() <= 16.0 * 60.5);
     }
+}
 
-    /// MPI collectives: time grows (weakly) with message size, and the
-    /// barrier is independent of payload entirely.
-    #[test]
-    fn mpi_collectives_monotone_in_bytes(n in 2usize..33, small in 1u32..512, extra in 1u32..4096) {
+/// MPI collectives: time grows (weakly) with message size.
+#[test]
+fn mpi_collectives_monotone_in_bytes() {
+    let mut rng = cases(14);
+    for _ in 0..32 {
+        let n = rng.gen_range(2, 33) as usize;
+        let small = rng.gen_range(1, 512) as u32;
+        let extra = rng.gen_range(1, 4096) as u32;
         let cfg = CommConfig::powermanna();
         let mut w1 = MpiWorld::new(n, cfg);
         let t_small = w1.bcast(0, small);
         let mut w2 = MpiWorld::new(n, cfg);
         let t_big = w2.bcast(0, small + extra);
-        prop_assert!(t_big >= t_small);
+        assert!(t_big >= t_small, "n={n} small={small} extra={extra}");
     }
+}
 
-    /// The kernel parser accepts everything the generator prints and
-    /// produces the same op counts.
-    #[test]
-    fn parser_roundtrips_generated_kernels(loads in 1usize..20, flops in 0usize..20) {
+/// The kernel parser accepts everything the generator prints and
+/// produces the same op counts.
+#[test]
+fn parser_roundtrips_generated_kernels() {
+    let mut rng = cases(15);
+    for _ in 0..64 {
+        let loads = rng.gen_range(1, 20) as usize;
+        let flops = rng.gen_range(0, 20) as usize;
         let mut text = String::new();
         for i in 0..loads {
             text.push_str(&format!("r{} = load {}\n", i + 1, i * 64));
@@ -255,22 +369,27 @@ proptest! {
             text.push_str(&format!("r{} = fadd r1, r1\n", 100 + i));
         }
         let t = parse_kernel(&text).expect("generated kernel is valid");
-        prop_assert_eq!(t.stats().loads, loads as u64);
-        prop_assert_eq!(t.stats().flops, flops as u64);
+        assert_eq!(t.stats().loads, loads as u64);
+        assert_eq!(t.stats().flops, flops as u64);
     }
+}
 
-    /// Page placement is a bijection at page granularity: distinct pages
-    /// never collide, and offsets are preserved.
-    #[test]
-    fn page_placement_bijective(a in 0u64..1_000_000, b in 0u64..1_000_000) {
-        use powermanna::mem::hierarchy::virt_to_phys;
+/// Page placement is a bijection at page granularity: distinct pages
+/// never collide, and offsets are preserved.
+#[test]
+fn page_placement_bijective() {
+    use powermanna::mem::hierarchy::virt_to_phys;
+    let mut rng = cases(16);
+    for _ in 0..256 {
+        let a = rng.gen_range(0, 1_000_000);
+        let b = rng.gen_range(0, 1_000_000);
         let pa = virt_to_phys(a * 4096);
         let pb = virt_to_phys(b * 4096);
         if a != b {
-            prop_assert_ne!(pa / 4096, pb / 4096, "pages {} and {} collided", a, b);
+            assert_ne!(pa / 4096, pb / 4096, "pages {a} and {b} collided");
         } else {
-            prop_assert_eq!(pa, pb);
+            assert_eq!(pa, pb);
         }
-        prop_assert_eq!(virt_to_phys(a * 4096 + 123), pa + 123);
+        assert_eq!(virt_to_phys(a * 4096 + 123), pa + 123);
     }
 }
