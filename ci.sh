@@ -17,6 +17,13 @@ cargo build --workspace --release
 echo "== test =="
 cargo test --workspace -q
 
+echo "== parity (release) =="
+# The fresh-vs-reused / per-flit-vs-batched equivalence proofs rerun
+# under optimisation: release codegen is what the benchmarks and the
+# figure bundle actually execute, and debug_asserts compiled out must
+# not be what held the two paths together.
+cargo test --release -q --test parity
+
 echo "== figure shape checks (quick) =="
 cargo run --release -p pm-bench --bin figures -- --quick --checks
 

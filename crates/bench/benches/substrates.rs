@@ -17,6 +17,7 @@ use pm_net::crossbar::{Crossbar, CrossbarConfig};
 use pm_net::fifo::TimedFifo;
 use pm_net::flitsim;
 use pm_net::mesh::{Mesh, MeshConfig};
+use pm_net::stopwire::{self, StopWireConfig};
 use pm_node::crc::crc16;
 use pm_node::ni::{NiConfig, NiDirection};
 use pm_sim::time::{Duration, Time};
@@ -118,6 +119,46 @@ fn bench_flitsim(r: &mut Runner) {
     });
 }
 
+fn bench_mem_pool(r: &mut Runner) {
+    // One provisioning-dominated sweep point: a burst of streaming
+    // misses on a freshly provisioned node. The fresh variant pays the
+    // tag-store allocation (and its teardown) every call; the reused
+    // variant is the `pm_mem::pool` hot path — `reset_to` recycles the
+    // allocations. `tests/parity.rs` pins the two to identical stats.
+    let cfg = HierarchyConfig::mpc620_node(2);
+    let point = |mem: &mut MemorySystem| {
+        let mut t = Time::ZERO;
+        for i in 0..256u64 {
+            t = mem.access(0, Access::read(i * 64), t).done_at;
+        }
+        t
+    };
+    r.bench("mem_pool/sweep_point_fresh", move || {
+        let mut mem = MemorySystem::new(cfg);
+        point(&mut mem)
+    });
+    let mut pooled = MemorySystem::new(cfg);
+    r.bench("mem_pool/sweep_point_reused", move || {
+        pooled.reset_to(cfg);
+        point(&mut pooled)
+    });
+}
+
+fn bench_stopwire(r: &mut Runner) {
+    // A 64-KB worm through an output whose downstream side stalls half
+    // of every millisecond-scale window: the per-flit reference walks
+    // every link tick, the batched engine only the transitions.
+    let c = StopWireConfig::powermanna();
+    let windows: Vec<(u64, u64)> = (0..256u64).map(|i| (i * 1024, i * 1024 + 512)).collect();
+    r.bench("stopwire/64k_saturated_per_flit", {
+        let windows = windows.clone();
+        move || stopwire::stream_per_flit(c, 0, 65536, &windows)
+    });
+    r.bench("stopwire/64k_saturated_batched", move || {
+        stopwire::stream_batched(c, 0, 65536, &windows)
+    });
+}
+
 fn bench_mesh(r: &mut Runner) {
     r.bench("mesh/16_random_connections", || {
         let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
@@ -171,6 +212,8 @@ fn main() {
     bench_ni(&mut r);
     bench_crc(&mut r);
     bench_flitsim(&mut r);
+    bench_mem_pool(&mut r);
+    bench_stopwire(&mut r);
     bench_mesh(&mut r);
     bench_mpi(&mut r);
     bench_earth(&mut r);

@@ -11,8 +11,13 @@
 //!                           # (with --serial: skip the parallel pass)
 
 use pm_core::experiments::{all_experiments, find, headline_checks};
+use pm_core::matmultrun::measure_single;
 use pm_core::report::{render_terminal, run_all, write_bundle};
+use pm_core::systems;
+use pm_net::flitsim::{self, Backpressure};
+use pm_net::stopwire::{StopWireConfig, StopWireEngine};
 use pm_sim::par;
+use pm_workloads::matmult::MatMultVersion;
 use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
@@ -130,10 +135,28 @@ fn time_bundle(quick: bool, serial_only: bool) {
         println!("speedup        {:>9.2}x", serial_ms / p);
     }
 
+    let hot_paths = time_hot_paths(quick);
+    for hp in &hot_paths {
+        println!(
+            "  {:24} {:>9.1} ms -> {:>9.1} ms  ({:.2}x)",
+            hp.name,
+            hp.baseline_ms,
+            hp.optimized_ms,
+            hp.baseline_ms / hp.optimized_ms
+        );
+    }
+
     let path = Path::new("BENCH_figures.json");
     match std::fs::write(
         path,
-        render_json(quick, workers, &per_experiment, serial_ms, parallel_ms),
+        render_json(
+            quick,
+            workers,
+            &per_experiment,
+            serial_ms,
+            parallel_ms,
+            &hot_paths,
+        ),
     ) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => {
@@ -141,6 +164,95 @@ fn time_bundle(quick: bool, serial_only: bool) {
             std::process::exit(1);
         }
     }
+}
+
+/// One baseline-vs-optimised hot-path timing.
+struct HotPath {
+    name: &'static str,
+    /// The naive path's label and wall-clock (e.g. fresh construction).
+    baseline: &'static str,
+    baseline_ms: f64,
+    /// The production path's label and wall-clock (e.g. pooled reuse).
+    optimized: &'static str,
+    optimized_ms: f64,
+}
+
+/// Times the two zero-allocation hot paths against their naive
+/// baselines (see `tests/parity.rs` for the proof that the fast paths
+/// are behaviour-preserving):
+///
+/// * a MatMult sweep over provisioning-dominated sizes, fresh
+///   `MemorySystem` per point vs the thread-local pool;
+/// * a saturated backpressured crossbar batch, per-flit stop-wire
+///   bookkeeping vs the batched closed-form engine.
+fn time_hot_paths(quick: bool) -> Vec<HotPath> {
+    let reps = if quick { 20 } else { 50 };
+
+    // MatMult sweep at small sizes: per-point work is tiny, so the
+    // per-point MemorySystem provisioning (two 2-MB-cache tag stores
+    // allocated, faulted in and freed per point) is the cost being
+    // swept away.
+    let pm = systems::powermanna();
+    let sweep = || {
+        for n in [2usize, 3, 4, 5, 6, 8] {
+            black_box(measure_single(&pm, n, MatMultVersion::Transposed));
+        }
+    };
+    // Warm-up decouples the timing from one-time code/allocator setup.
+    sweep();
+    pm_mem::pool::set_reuse(false);
+    let t = Instant::now();
+    for _ in 0..reps {
+        sweep();
+    }
+    let fresh_ms = t.elapsed().as_secs_f64() * 1e3;
+    pm_mem::pool::set_reuse(true);
+    let t = Instant::now();
+    for _ in 0..reps {
+        sweep();
+    }
+    let reused_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Saturated crossbar: long worms through outputs that stall half of
+    // every window, so the per-flit engine walks millions of link ticks
+    // while the batched engine only visits the transitions.
+    let cfg = pm_net::crossbar::CrossbarConfig::powermanna();
+    let packets = flitsim::hotspot_traffic(cfg, if quick { 2 } else { 4 }, 4096);
+    let windows: Vec<Vec<(u64, u64)>> = (0..cfg.ports)
+        .map(|_| (0..400u64).map(|i| (i * 1000, i * 1000 + 500)).collect())
+        .collect();
+    let engine_ms = |engine| {
+        let bp = Backpressure {
+            stop: StopWireConfig::powermanna(),
+            engine,
+            windows: windows.clone(),
+        };
+        let mut sim = flitsim::FlitSim::new();
+        let t = Instant::now();
+        for _ in 0..reps {
+            black_box(sim.run_with_backpressure(cfg, &packets, &bp));
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let per_flit_ms = engine_ms(StopWireEngine::PerFlit);
+    let batched_ms = engine_ms(StopWireEngine::Batched);
+
+    vec![
+        HotPath {
+            name: "matmult_sweep",
+            baseline: "fresh",
+            baseline_ms: fresh_ms,
+            optimized: "reused",
+            optimized_ms: reused_ms,
+        },
+        HotPath {
+            name: "flitsim_saturation",
+            baseline: "per_flit",
+            baseline_ms: per_flit_ms,
+            optimized: "batched",
+            optimized_ms: batched_ms,
+        },
+    ]
 }
 
 /// Hand-rolled JSON (the build policy forbids external crates): numbers
@@ -152,16 +264,36 @@ fn render_json(
     per_experiment: &[(&str, f64)],
     serial_ms: f64,
     parallel_ms: Option<f64>,
+    hot_paths: &[HotPath],
 ) -> String {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str(&format!("  \"available_parallelism\": {available},\n"));
+    // A speedup measured with one worker is the pool degrading to inline
+    // serial execution: it reflects host timing noise, not parallelism.
+    s.push_str(&format!("  \"speedup_valid\": {},\n", workers > 1));
     if workers == 1 {
         s.push_str(
             "  \"note\": \"single-core host: the pool degrades to inline serial, \
              so speedup only reflects host timing noise\",\n",
         );
     }
+    s.push_str("  \"hot_paths\": {\n");
+    for (i, hp) in hot_paths.iter().enumerate() {
+        let comma = if i + 1 < hot_paths.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {{\"{}_ms\": {:.3}, \"{}_ms\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            hp.name,
+            hp.baseline,
+            hp.baseline_ms,
+            hp.optimized,
+            hp.optimized_ms,
+            hp.baseline_ms / hp.optimized_ms
+        ));
+    }
+    s.push_str("  },\n");
     s.push_str("  \"experiments_ms\": {\n");
     for (i, (id, ms)) in per_experiment.iter().enumerate() {
         let comma = if i + 1 < per_experiment.len() {

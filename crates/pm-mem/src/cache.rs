@@ -209,6 +209,20 @@ impl Cache {
         self.clock = 0;
         self.stats = CacheStats::default();
     }
+
+    /// Re-shapes this cache to `geometry` and cold-resets it, reusing the
+    /// set array (and each set's way storage, when the set count is
+    /// unchanged) instead of reallocating. After the call the cache is
+    /// indistinguishable from `Cache::new(geometry)` except for retained
+    /// heap capacity.
+    pub fn reset_to(&mut self, geometry: CacheGeometry) {
+        let sets = geometry.sets() as usize;
+        if sets != self.sets.len() {
+            self.sets.resize_with(sets, Vec::new);
+        }
+        self.geometry = geometry;
+        self.reset();
+    }
 }
 
 #[cfg(test)]

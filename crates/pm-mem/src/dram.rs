@@ -94,6 +94,7 @@ pub struct Dram {
     banks: Vec<Resource>,
     pins: Resource,
     accesses: u64,
+    bank_conflicts: u64,
 }
 
 impl Dram {
@@ -112,6 +113,7 @@ impl Dram {
             pins: Resource::new(),
             config,
             accesses: 0,
+            bank_conflicts: 0,
         }
     }
 
@@ -133,6 +135,12 @@ impl Dram {
         self.accesses += 1;
         let bank = self.bank_of(addr) as usize;
         let start = self.banks[bank].acquire(t, self.config.bank_busy);
+        if start > t {
+            // The bank was still busy with an earlier burst: the request
+            // waited. (Pin contention below does not count — only bank
+            // serialisation is a *conflict* in the interleaving sense.)
+            self.bank_conflicts += 1;
+        }
         // The banks share one set of data pins: the line streams out over
         // them once the bank has the data, which is what caps the node
         // memory at its 640 Mbyte/s figure.
@@ -147,6 +155,12 @@ impl Dram {
         self.accesses
     }
 
+    /// Accesses that found their bank still busy with an earlier burst
+    /// (started later than requested because of bank serialisation).
+    pub fn bank_conflicts(&self) -> u64 {
+        self.bank_conflicts
+    }
+
     /// Resets all banks to idle.
     pub fn reset(&mut self) {
         for b in &mut self.banks {
@@ -154,6 +168,23 @@ impl Dram {
         }
         self.pins.reset();
         self.accesses = 0;
+        self.bank_conflicts = 0;
+    }
+
+    /// Re-shapes this DRAM to `config` and cold-resets it, reusing the
+    /// bank array. Equivalent to `Dram::new(config)` afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bank count is zero or not a power of two.
+    pub fn reset_to(&mut self, config: DramConfig) {
+        assert!(
+            config.banks.is_power_of_two(),
+            "bank count must be a power of two"
+        );
+        self.banks.resize_with(config.banks as usize, Resource::new);
+        self.config = config;
+        self.reset();
     }
 }
 

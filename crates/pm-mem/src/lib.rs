@@ -19,6 +19,9 @@
 //! * [`hierarchy`] — the composed [`hierarchy::MemorySystem`]: per-CPU
 //!   L1 + L2, shared snoop bus, DRAM; returns access latency and records
 //!   hit/miss/intervention statistics.
+//! * [`pool`] — per-thread reuse of `MemorySystem` instances so sweep
+//!   loops pay the tag-store allocations once per worker, not once per
+//!   sweep point.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@ pub mod dram;
 pub mod geometry;
 pub mod hierarchy;
 pub mod mesi;
+pub mod pool;
 pub mod tlb;
 
 pub use bus::{BusConfig, DataPath, SnoopBus};
@@ -48,4 +52,5 @@ pub use dram::{Dram, DramConfig};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{Access, AccessResult, HierarchyConfig, MemorySystem, ServiceLevel};
 pub use mesi::{MesiState, SnoopKind};
+pub use pool::with_node_mem;
 pub use tlb::{Tlb, TlbConfig, TlbStats};

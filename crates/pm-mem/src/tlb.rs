@@ -169,6 +169,30 @@ impl Tlb {
         self.clock = 0;
         self.stats = TlbStats::default();
     }
+
+    /// Re-shapes this TLB to `config` and cold-resets it, reusing the set
+    /// array where possible. Equivalent to `Tlb::new(config)` apart from
+    /// retained heap capacity.
+    ///
+    /// # Panics
+    ///
+    /// Same geometry requirements as [`Tlb::new`].
+    pub fn reset_to(&mut self, config: TlbConfig) {
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size power of two"
+        );
+        assert!(
+            config.ways > 0 && config.entries.is_multiple_of(config.ways),
+            "ways must divide entries"
+        );
+        let sets = (config.entries / config.ways) as usize;
+        if sets != self.sets.len() {
+            self.sets.resize_with(sets, Vec::new);
+        }
+        self.config = config;
+        self.reset();
+    }
 }
 
 #[cfg(test)]

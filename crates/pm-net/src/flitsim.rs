@@ -10,6 +10,7 @@
 //! queue in `pm-sim`.
 
 use crate::crossbar::CrossbarConfig;
+use crate::stopwire::{self, StopWireConfig, StopWireEngine};
 use pm_sim::event::EventQueue;
 use pm_sim::stats::Histogram;
 use pm_sim::time::{Duration, Time};
@@ -28,6 +29,25 @@ pub struct Packet {
     pub inject_at: Time,
 }
 
+/// Downstream backpressure applied to the crossbar's output ports.
+///
+/// Each output port gets a schedule of stall windows (absolute link
+/// ticks during which its downstream side cannot accept bytes); worms
+/// streaming through a stalled port are throttled by the per-link
+/// *stop* wire modelled in [`crate::stopwire`]. Ports beyond the end of
+/// `windows` are unobstructed.
+#[derive(Clone, Debug)]
+pub struct Backpressure {
+    /// FIFO geometry and stop/resume thresholds of the links.
+    pub stop: StopWireConfig,
+    /// Which stop-wire engine computes each stream (the parity suite
+    /// runs both and asserts identical results).
+    pub engine: StopWireEngine,
+    /// Per-output stall windows, sorted disjoint `[start, end)` link
+    /// ticks.
+    pub windows: Vec<Vec<(u64, u64)>>,
+}
+
 /// Result of simulating a packet batch.
 #[derive(Clone, Debug)]
 pub struct FlitSimResult {
@@ -41,6 +61,10 @@ pub struct FlitSimResult {
     pub finished_at: Time,
     /// Total payload bytes moved.
     pub payload_bytes: u64,
+    /// Stop-wire assertions across all streams (0 without backpressure).
+    pub stop_transitions: u64,
+    /// Link ticks senders spent gated by *stop* (0 without backpressure).
+    pub stalled_link_ticks: u64,
 }
 
 impl FlitSimResult {
@@ -98,6 +122,8 @@ pub struct FlitSim {
     head_blocking: Histogram,
     finished_at: Time,
     payload_bytes: u64,
+    stop_transitions: u64,
+    stalled_link_ticks: u64,
 }
 
 impl Default for FlitSim {
@@ -124,6 +150,8 @@ impl FlitSim {
             head_blocking: Histogram::new("head_blocking_ns"),
             finished_at: Time::ZERO,
             payload_bytes: 0,
+            stop_transitions: 0,
+            stalled_link_ticks: 0,
         }
     }
 
@@ -152,6 +180,8 @@ impl FlitSim {
         self.head_blocking = Histogram::new("head_blocking_ns");
         self.finished_at = Time::ZERO;
         self.payload_bytes = 0;
+        self.stop_transitions = 0;
+        self.stalled_link_ticks = 0;
     }
 
     /// Simulates one packet batch; see [`simulate`] for the model.
@@ -162,6 +192,38 @@ impl FlitSim {
     ///
     /// Panics if a packet references a port outside the crossbar.
     pub fn run(&mut self, config: CrossbarConfig, packets: &[Packet]) -> FlitSimResult {
+        self.run_inner(config, packets, None)
+    }
+
+    /// Like [`FlitSim::run`], but with downstream backpressure on the
+    /// output ports: a worm streaming through a stalled port is paced by
+    /// the per-link *stop* wire instead of draining at link rate.
+    ///
+    /// Streaming is quantised to the link byte clock (each worm starts
+    /// on the next tick edge), so completion times are not comparable
+    /// picosecond-for-picosecond with [`FlitSim::run`]; with an empty
+    /// schedule the worms still never stall and the stop counters stay
+    /// zero. Both [`StopWireEngine`]s produce byte-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet references a port outside the crossbar, if a
+    /// stall schedule is unsorted, or if `bp.stop` is not lossless.
+    pub fn run_with_backpressure(
+        &mut self,
+        config: CrossbarConfig,
+        packets: &[Packet],
+        bp: &Backpressure,
+    ) -> FlitSimResult {
+        self.run_inner(config, packets, Some(bp))
+    }
+
+    fn run_inner(
+        &mut self,
+        config: CrossbarConfig,
+        packets: &[Packet],
+        bp: Option<&Backpressure>,
+    ) -> FlitSimResult {
         for p in packets {
             assert!(
                 p.input < config.ports && p.output < config.ports,
@@ -180,16 +242,16 @@ impl FlitSim {
             let at = packets[self.order[cursor]].inject_at;
             if self.queue.peek_due().is_some_and(|d| d < at) {
                 let (now, idx) = self.queue.pop().expect("peeked event pops");
-                self.on_done(packets, idx, now);
+                self.on_done(packets, idx, now, bp);
             } else {
                 let idx = self.order[cursor];
                 cursor += 1;
-                self.on_arrive(packets, idx, at);
+                self.on_arrive(packets, idx, at, bp);
             }
         }
         // All packets injected; drain the in-flight completions.
         while let Some((now, idx)) = self.queue.pop() {
-            self.on_done(packets, idx, now);
+            self.on_done(packets, idx, now, bp);
         }
         FlitSimResult {
             completions: std::mem::take(&mut self.completions),
@@ -199,12 +261,20 @@ impl FlitSim {
             ),
             finished_at: self.finished_at,
             payload_bytes: self.payload_bytes,
+            stop_transitions: self.stop_transitions,
+            stalled_link_ticks: self.stalled_link_ticks,
         }
     }
 
     /// Starts `input`'s head packet if the input is idle and its output
     /// is free; otherwise registers it as a waiter.
-    fn try_start(&mut self, packets: &[Packet], input: usize, now: Time) {
+    fn try_start(
+        &mut self,
+        packets: &[Packet],
+        input: usize,
+        now: Time,
+        bp: Option<&Backpressure>,
+    ) {
         if self.input_busy[input] {
             return;
         }
@@ -230,24 +300,42 @@ impl FlitSim {
         self.output_busy[out] = true;
         self.input_busy[input] = true;
         self.input_queue[input].pop_front();
-        // Cut-through: payload + close byte at link rate.
-        let done = start + self.byte_time * (u64::from(p.payload) + 1);
+        // Cut-through: payload + close byte at link rate — paced by the
+        // downstream stop wire when backpressure is modelled.
+        let done = match bp {
+            None => start + self.byte_time * (u64::from(p.payload) + 1),
+            Some(bp) => {
+                let bt = self.byte_time.as_ps();
+                let start_tick = start.as_ps().div_ceil(bt);
+                let windows = bp.windows.get(out).map_or(&[][..], Vec::as_slice);
+                let s = stopwire::stream(
+                    bp.engine,
+                    bp.stop,
+                    start_tick,
+                    u64::from(p.payload) + 1,
+                    windows,
+                );
+                self.stop_transitions += s.stop_transitions;
+                self.stalled_link_ticks += s.stalled_ticks;
+                Time::from_ps((s.finish_tick + 1) * bt)
+            }
+        };
         self.completions[pkt_idx] = done;
         self.finished_at = self.finished_at.max(done);
         self.payload_bytes += u64::from(p.payload);
         self.queue.schedule(done, pkt_idx);
     }
 
-    fn on_arrive(&mut self, packets: &[Packet], idx: usize, now: Time) {
+    fn on_arrive(&mut self, packets: &[Packet], idx: usize, now: Time, bp: Option<&Backpressure>) {
         let input = packets[idx].input as usize;
         self.input_queue[input].push_back(idx);
         if self.input_queue[input].len() == 1 && !self.input_busy[input] {
             self.head_ready_at[input] = now;
         }
-        self.try_start(packets, input, now);
+        self.try_start(packets, input, now, bp);
     }
 
-    fn on_done(&mut self, packets: &[Packet], idx: usize, now: Time) {
+    fn on_done(&mut self, packets: &[Packet], idx: usize, now: Time, bp: Option<&Backpressure>) {
         let p = packets[idx];
         let input = p.input as usize;
         let out = p.output as usize;
@@ -263,7 +351,7 @@ impl FlitSim {
                 .front()
                 .is_some_and(|&i| packets[i].output == p.output);
             if wants && !self.input_busy[waiter] {
-                self.try_start(packets, waiter, now);
+                self.try_start(packets, waiter, now, bp);
                 if self.output_busy[out] {
                     break;
                 }
@@ -272,7 +360,7 @@ impl FlitSim {
         // The freed input's next head may now arbitrate (or queue).
         if !self.input_queue[input].is_empty() {
             self.head_ready_at[input] = now;
-            self.try_start(packets, input, now);
+            self.try_start(packets, input, now, bp);
         }
     }
 }
@@ -514,6 +602,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn empty_backpressure_never_stalls() {
+        let bp = Backpressure {
+            stop: StopWireConfig::powermanna(),
+            engine: StopWireEngine::Batched,
+            windows: Vec::new(),
+        };
+        let packets = uniform_traffic(cfg(), 8, 256, 11);
+        let r = FlitSim::new().run_with_backpressure(cfg(), &packets, &bp);
+        assert_eq!(r.stop_transitions, 0);
+        assert_eq!(r.stalled_link_ticks, 0);
+        assert_eq!(r.completions.len(), packets.len());
+        assert_eq!(
+            r.payload_bytes,
+            packets.iter().map(|p| u64::from(p.payload)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn backpressure_delays_the_stalled_output_only() {
+        // Output 0 blocked for a long stretch; output 1 unobstructed.
+        let stall_until = 100_000u64;
+        let bp = Backpressure {
+            stop: StopWireConfig::powermanna(),
+            engine: StopWireEngine::Batched,
+            windows: vec![vec![(0, stall_until)]],
+        };
+        let packets = vec![
+            Packet {
+                input: 0,
+                output: 0,
+                payload: 1024,
+                inject_at: Time::ZERO,
+            },
+            Packet {
+                input: 1,
+                output: 1,
+                payload: 1024,
+                inject_at: Time::ZERO,
+            },
+        ];
+        let r = FlitSim::new().run_with_backpressure(cfg(), &packets, &bp);
+        assert!(r.completions[0] > r.completions[1]);
+        assert!(r.stop_transitions >= 1);
+        assert!(r.stalled_link_ticks > 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod fifo;
 pub mod flitsim;
 pub mod mesh;
 pub mod network;
+pub mod stopwire;
 pub mod topology;
 pub mod transceiver;
 pub mod wire;
@@ -43,6 +44,7 @@ pub use fifo::TimedFifo;
 pub use flitsim::{FlitSimResult, Packet};
 pub use mesh::{Mesh, MeshConfig};
 pub use network::{Connection, Network, RouteError};
+pub use stopwire::{StopWireConfig, StopWireEngine, StopWireStats};
 pub use topology::{LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};
 pub use wire::{Wire, WireConfig};

@@ -1,0 +1,337 @@
+//! Parity suite for the zero-allocation hot paths.
+//!
+//! Two rewrites in this repo trade reconstruction for reuse:
+//!
+//! * `pm_mem::pool` hands sweep loops a *reused* [`MemorySystem`]
+//!   (reconfigured in place by `reset_to`) instead of a fresh one per
+//!   sweep point;
+//! * `pm_net::stopwire::stream_batched` computes stop-wire flow control
+//!   in closed-form segments instead of the per-flit tick loop.
+//!
+//! Both are pure optimisations: the observable behaviour must be
+//! *byte-identical* to the naive paths. This suite runs both paths side
+//! by side over fixed-seed workloads and asserts identical stats; a
+//! single diverging counter anywhere fails the build.
+
+use powermanna::machine::hintrun::run_hint;
+use powermanna::machine::matmultrun::{measure_blocked, measure_dual, measure_single};
+use powermanna::machine::systems;
+use powermanna::mem::hierarchy::AccessResult;
+use powermanna::mem::{pool, Access, HierarchyConfig, MemorySystem};
+use powermanna::net::crossbar::CrossbarConfig;
+use powermanna::net::flitsim::{self, Backpressure, FlitSim, FlitSimResult};
+use powermanna::net::stopwire::{
+    random_windows, stream_batched, stream_per_flit, StopWireConfig, StopWireEngine,
+};
+use powermanna::sim::rng::SimRng;
+use powermanna::sim::time::Time;
+use powermanna::workloads::matmult::MatMultVersion;
+
+/// One generator per test, derived from a test-specific tag so adding
+/// cases to one test never shifts another test's inputs.
+fn cases(tag: u64) -> SimRng {
+    SimRng::seed_from(0x50617269_74790000 ^ tag)
+}
+
+// --- MemorySystem: fresh vs reused --------------------------------------
+
+/// Everything a memory system can report, gathered in one comparable
+/// value. If fresh and reused instances diverge in *any* counter or in
+/// the access timeline itself, the suite points at the field.
+#[derive(Debug, PartialEq)]
+struct MemFingerprint {
+    timeline: Vec<AccessResult>,
+    l1: Vec<powermanna::mem::CacheStats>,
+    l2: Vec<powermanna::mem::CacheStats>,
+    tlb: Vec<powermanna::mem::TlbStats>,
+    bus: powermanna::mem::bus::BusStats,
+    dram_accesses: u64,
+    dram_bank_conflicts: u64,
+    interventions: u64,
+    upgrades: u64,
+}
+
+/// Drives a fixed pseudo-random access stream (same `seed` ⇒ same
+/// stream) through `mem` and fingerprints everything it did.
+fn drive(mem: &mut MemorySystem, seed: u64, ops: usize) -> MemFingerprint {
+    let cfg = mem.config();
+    let mut rng = SimRng::seed_from(seed);
+    let mut t = Time::ZERO;
+    let mut timeline = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let cpu = rng.gen_range(0, cfg.cpus as u64) as usize;
+        // A mix of hot lines (coherence traffic) and a cold sweep
+        // (capacity/bank traffic).
+        let addr = if rng.gen_bool(0.5) {
+            rng.gen_range(0, 64) * 64
+        } else {
+            rng.gen_range(0, 1 << 22)
+        };
+        let access = if rng.gen_bool(0.3) {
+            Access::write(addr)
+        } else {
+            Access::read(addr)
+        };
+        let r = mem.access(cpu, access, t);
+        t = r.done_at;
+        timeline.push(r);
+    }
+    MemFingerprint {
+        timeline,
+        l1: (0..cfg.cpus).map(|c| mem.l1_stats(c)).collect(),
+        l2: (0..cfg.cpus).map(|c| mem.l2_stats(c)).collect(),
+        tlb: (0..cfg.cpus).map(|c| mem.tlb_stats(c)).collect(),
+        bus: mem.bus_stats(),
+        dram_accesses: mem.dram_accesses(),
+        dram_bank_conflicts: mem.dram_bank_conflicts(),
+        interventions: mem.interventions(),
+        upgrades: mem.upgrades(),
+    }
+}
+
+/// The node configurations the sweeps actually use, in an order that
+/// forces `reset_to` to grow, shrink, and reshape every component
+/// (CPU count, cache geometry, line size, bus protocol, DRAM banks,
+/// TLB shape all change between neighbours).
+fn sweep_configs() -> Vec<HierarchyConfig> {
+    vec![
+        HierarchyConfig::mpc620_node(1),
+        HierarchyConfig::sun_ultra_node(1),
+        HierarchyConfig::mpc620_node(4),
+        HierarchyConfig::pentium_node(2, 180.0, 60.0),
+        HierarchyConfig::mpc620_node(2),
+        HierarchyConfig::pentium_node(1, 266.0, 66.0),
+    ]
+}
+
+/// A reused instance, `reset_to` a new config between sweep points,
+/// behaves byte-identically to a freshly constructed one — including
+/// when consecutive points use *different* machines, the worst case for
+/// stale state.
+#[test]
+fn reused_memory_system_matches_fresh_across_configs() {
+    let mut rng = cases(1);
+    let mut reused = MemorySystem::new(HierarchyConfig::mpc620_node(1));
+    for round in 0..2 {
+        for (i, cfg) in sweep_configs().into_iter().enumerate() {
+            let seed = rng.next_u64();
+            let ops = rng.gen_range(100, 400) as usize;
+            let fresh_print = drive(&mut MemorySystem::new(cfg), seed, ops);
+            reused.reset_to(cfg);
+            let reused_print = drive(&mut reused, seed, ops);
+            assert_eq!(
+                fresh_print, reused_print,
+                "fresh and reused diverge at round {round} config {i}"
+            );
+        }
+    }
+}
+
+/// `reset_to` with the *same* config is exactly `reset`: rerunning the
+/// identical stream reproduces the identical fingerprint, so no warmth
+/// leaks across sweep points.
+#[test]
+fn reset_to_same_config_is_cold() {
+    let mut rng = cases(2);
+    for cfg in sweep_configs() {
+        let seed = rng.next_u64();
+        let mut mem = MemorySystem::new(cfg);
+        let first = drive(&mut mem, seed, 200);
+        mem.reset_to(cfg);
+        let second = drive(&mut mem, seed, 200);
+        assert_eq!(first, second, "state leaked across reset_to");
+    }
+}
+
+/// The pooled sweep entry points produce the same measurements whether
+/// the thread-local pool is enabled (production) or bypassed (every
+/// call constructs fresh). The pool is deliberately poisoned with a
+/// different machine's configuration before the reused pass.
+#[test]
+fn pooled_measurements_match_fresh_construction() {
+    let pm = systems::powermanna();
+    let sun = systems::sun_ultra();
+
+    pool::set_reuse(false);
+    let fresh = (
+        measure_single(&pm, 48, MatMultVersion::Transposed),
+        measure_single(&pm, 128, MatMultVersion::Naive), // sampled path
+        measure_dual(&pm, 48, MatMultVersion::Transposed),
+        measure_blocked(&pm, 128, 32),
+        run_hint(&pm, powermanna::workloads::hint::HintType::Double, 1 << 15),
+    );
+
+    pool::set_reuse(true);
+    // Poison the pool: park a SUN-configured instance in the slot so the
+    // PowerMANNA measurements below must reconfigure it in place.
+    let _ = measure_single(&sun, 32, MatMultVersion::Naive);
+    let reused = (
+        measure_single(&pm, 48, MatMultVersion::Transposed),
+        measure_single(&pm, 128, MatMultVersion::Naive),
+        measure_dual(&pm, 48, MatMultVersion::Transposed),
+        measure_blocked(&pm, 128, 32),
+        run_hint(&pm, powermanna::workloads::hint::HintType::Double, 1 << 15),
+    );
+
+    assert_eq!(fresh, reused, "pooled sweep diverges from fresh sweep");
+}
+
+// --- Stop wire: per-flit vs batched -------------------------------------
+
+/// Draws a random — but always valid and lossless — stop-wire
+/// configuration.
+fn random_stop_config(rng: &mut SimRng) -> StopWireConfig {
+    let fifo_bytes = rng.gen_range(32, 513) as u32;
+    let stop_lag = rng.gen_range(0, 9) as u32;
+    // Leave exactly the headroom validate() demands, at minimum.
+    let max_stop = fifo_bytes - stop_lag - 1;
+    let stop_threshold = rng.gen_range(2, u64::from(max_stop) + 1) as u32;
+    let resume_threshold = rng.gen_range(1, u64::from(stop_threshold)) as u32;
+    StopWireConfig {
+        fifo_bytes,
+        stop_threshold,
+        resume_threshold,
+        stop_lag,
+    }
+}
+
+/// The batched engine is byte-identical to the per-flit reference over
+/// a large corpus of random configurations and backpressure schedules —
+/// every stat, not just the finish tick.
+#[test]
+fn stopwire_engines_agree_on_random_corpus() {
+    let mut rng = cases(3);
+    for case in 0..400 {
+        let config = random_stop_config(&mut rng);
+        let start_tick = rng.gen_range(0, 2000);
+        let bytes = rng.gen_range(1, 6000);
+        let horizon = start_tick + bytes * 3 + 10;
+        let count = rng.gen_range(0, 24) as u32;
+        let windows = random_windows(&mut rng, horizon, count, 700);
+
+        let a = stream_per_flit(config, start_tick, bytes, &windows);
+        let b = stream_batched(config, start_tick, bytes, &windows);
+        assert_eq!(
+            a, b,
+            "engines diverge on case {case}: {config:?} start={start_tick} \
+             bytes={bytes} windows={windows:?}"
+        );
+        // Shared sanity: lossless and bounded regardless of schedule.
+        assert_eq!(a.delivered, bytes, "case {case}: bytes dropped");
+        assert!(
+            a.max_occupancy <= config.fifo_bytes,
+            "case {case}: FIFO overflow"
+        );
+    }
+}
+
+/// Pathological schedules the random corpus is unlikely to hit:
+/// saturating stalls, stall walls longer than the stream, windows
+/// butting against each other, single-byte streams.
+#[test]
+fn stopwire_engines_agree_on_adversarial_schedules() {
+    type Schedule = (u64, u64, Vec<(u64, u64)>);
+    let c = StopWireConfig::powermanna();
+    let schedules: Vec<Schedule> = vec![
+        (0, 1, vec![(0, 100_000)]),
+        (0, 10_000, vec![(0, 50_000)]),
+        (5, 300, vec![(0, 6), (6, 12), (12, 400)]),
+        (0, 1000, (0..200).map(|i| (i * 3, i * 3 + 2)).collect()),
+        (999, 256, vec![(1000, 1001)]),
+        (0, 4096, vec![(100, 101), (5000, 20_000)]),
+    ];
+    for (start, bytes, stalls) in schedules {
+        let a = stream_per_flit(c, start, bytes, &stalls);
+        let b = stream_batched(c, start, bytes, &stalls);
+        assert_eq!(a, b, "diverge for start={start} bytes={bytes}");
+        assert_eq!(a.delivered, bytes);
+    }
+}
+
+// --- FlitSim under backpressure: per-flit vs batched ---------------------
+
+/// Compares everything two flit-sim runs can observably differ in.
+fn assert_results_identical(a: &FlitSimResult, b: &FlitSimResult, what: &str) {
+    assert_eq!(a.completions, b.completions, "{what}: completions");
+    assert_eq!(a.finished_at, b.finished_at, "{what}: makespan");
+    assert_eq!(a.payload_bytes, b.payload_bytes, "{what}: payload");
+    assert_eq!(
+        a.stop_transitions, b.stop_transitions,
+        "{what}: stop transitions"
+    );
+    assert_eq!(
+        a.stalled_link_ticks, b.stalled_link_ticks,
+        "{what}: stalled ticks"
+    );
+    assert_eq!(a.head_blocking, b.head_blocking, "{what}: head blocking");
+}
+
+/// Full-crossbar parity: uniform, hot-spot and permutation traffic
+/// through a backpressured crossbar give identical results under both
+/// stop-wire engines, with one reused simulator per engine (so the
+/// engine parity and the simulator's own reset are exercised together).
+#[test]
+fn flitsim_backpressure_engines_agree() {
+    let mut rng = cases(4);
+    let cfg = CrossbarConfig::powermanna();
+    let mut sim_a = FlitSim::new();
+    let mut sim_b = FlitSim::new();
+    for round in 0..12 {
+        let payload = rng.gen_range(16, 600) as u32;
+        let per_input = rng.gen_range(1, 5) as u32;
+        let traffic = match round % 3 {
+            0 => flitsim::uniform_traffic(cfg, per_input, payload, rng.next_u64()),
+            1 => flitsim::hotspot_traffic(cfg, per_input, payload),
+            _ => flitsim::permutation_traffic(cfg, per_input, payload, 5),
+        };
+        // Random per-output stall schedules; some outputs unobstructed.
+        let stop = StopWireConfig::powermanna();
+        let horizon = u64::from(payload) * u64::from(per_input) * 20 + 1000;
+        let windows: Vec<Vec<(u64, u64)>> = (0..cfg.ports)
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    Vec::new()
+                } else {
+                    let count = rng.gen_range(1, 12) as u32;
+                    random_windows(&mut rng, horizon, count, 2000)
+                }
+            })
+            .collect();
+
+        let bp = |engine| Backpressure {
+            stop,
+            engine,
+            windows: windows.clone(),
+        };
+        let a = sim_a.run_with_backpressure(cfg, &traffic, &bp(StopWireEngine::PerFlit));
+        let b = sim_b.run_with_backpressure(cfg, &traffic, &bp(StopWireEngine::Batched));
+        assert_results_identical(&a, &b, &format!("round {round}"));
+        // Backpressure throttles; it never drops payload.
+        assert_eq!(a.completions.len(), traffic.len());
+        assert_eq!(
+            a.payload_bytes,
+            traffic.iter().map(|p| u64::from(p.payload)).sum::<u64>()
+        );
+    }
+}
+
+/// A simulator that just ran a backpressured batch produces the exact
+/// same plain-run result afterwards as a brand-new one: backpressure
+/// state cannot leak into subsequent runs.
+#[test]
+fn backpressure_state_does_not_leak_into_plain_runs() {
+    let cfg = CrossbarConfig::powermanna();
+    let traffic = flitsim::uniform_traffic(cfg, 3, 128, 77);
+    let bp = Backpressure {
+        stop: StopWireConfig::powermanna(),
+        engine: StopWireEngine::Batched,
+        windows: vec![vec![(0, 4000)]; cfg.ports as usize],
+    };
+    let mut used = FlitSim::new();
+    let _ = used.run_with_backpressure(cfg, &traffic, &bp);
+    let after = used.run(cfg, &traffic);
+    let clean = FlitSim::new().run(cfg, &traffic);
+    assert_results_identical(&after, &clean, "post-backpressure plain run");
+    assert_eq!(after.stop_transitions, 0);
+    assert_eq!(after.stalled_link_ticks, 0);
+}

@@ -374,6 +374,221 @@ fn parser_roundtrips_generated_kernels() {
     }
 }
 
+// --- Memory-system invariants (pm-mem) ----------------------------------
+
+use powermanna::mem::dram::{Dram, DramConfig};
+use powermanna::mem::tlb::{Tlb, TlbConfig};
+
+/// After any random access stream from any number of CPUs, every
+/// touched line is in a legal MESI configuration across the caches:
+/// `check_coherence` validates single-writer, no-stale-sharer and
+/// L1⊆L2 inclusion per line.
+#[test]
+fn mesi_states_stay_legal_under_random_streams() {
+    let mut rng = cases(17);
+    for cpus in [2usize, 4] {
+        for _ in 0..16 {
+            let n_ops = rng.gen_range(50, 400) as usize;
+            let mut mem = MemorySystem::new(HierarchyConfig::mpc620_node(cpus));
+            let mut t = Time::ZERO;
+            let mut touched = Vec::new();
+            for _ in 0..n_ops {
+                let cpu = rng.gen_range(0, cpus as u64) as usize;
+                // A small hot set so lines migrate between caches a lot.
+                let addr = rng.gen_range(0, 32) * 64;
+                let access = if rng.gen_range(0, 2) == 1 {
+                    Access::write(addr)
+                } else {
+                    Access::read(addr)
+                };
+                t = mem.access(cpu, access, t).done_at;
+                touched.push(addr);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for addr in touched {
+                mem.check_coherence(addr)
+                    .unwrap_or_else(|e| panic!("cpus={cpus}: {e}"));
+            }
+        }
+    }
+}
+
+/// For a fully-associative LRU TLB with a fixed entry count, growing
+/// the page size never loses hits on the same address stream: larger
+/// pages are unions of smaller ones, so every reuse interval contains
+/// at most as many distinct large pages as small ones (the stack
+/// distance can only shrink).
+#[test]
+fn tlb_hits_monotone_in_page_size() {
+    let mut rng = cases(18);
+    for _ in 0..24 {
+        // Random-walk stream with page-scale locality.
+        let n_ops = rng.gen_range(200, 2000) as usize;
+        let mut addr: u64 = rng.gen_range(0, 1 << 24);
+        let stream: Vec<u64> = (0..n_ops)
+            .map(|_| {
+                if rng.gen_range(0, 4) == 0 {
+                    addr = rng.gen_range(0, 1 << 24); // jump
+                } else {
+                    addr += rng.gen_range(0, 4096); // local walk
+                }
+                addr
+            })
+            .collect();
+
+        let hits_with_pages = |page_bytes: u32| -> u64 {
+            let mut tlb = Tlb::new(TlbConfig {
+                entries: 64,
+                ways: 64, // fully associative: LRU is a stack algorithm
+                page_bytes,
+                miss_penalty: Duration::from_ns(150),
+            });
+            for &a in &stream {
+                tlb.translate(a);
+            }
+            tlb.stats().hits
+        };
+
+        let mut prev = hits_with_pages(1 << 12);
+        for shift in [13u32, 14, 16] {
+            let next = hits_with_pages(1 << shift);
+            assert!(
+                next >= prev,
+                "hits dropped from {prev} to {next} when pages grew to 2^{shift}"
+            );
+            prev = next;
+        }
+    }
+}
+
+/// The DRAM bank-conflict counter agrees with a shadow recount that
+/// tracks per-bank busy-until times, and obeys the obvious bounds.
+#[test]
+fn dram_bank_conflicts_match_shadow_recount() {
+    let mut rng = cases(19);
+    for cfg in [
+        DramConfig::powermanna(),
+        DramConfig::pc_sdram(),
+        DramConfig::sun_ultra(),
+    ] {
+        let n_ops = rng.gen_range(100, 600) as usize;
+        let mut dram = Dram::new(cfg);
+        let mut busy_until = vec![Time::ZERO; cfg.banks as usize];
+        let mut shadow = 0u64;
+        let mut t = Time::ZERO;
+        for _ in 0..n_ops {
+            // Sometimes advance time, sometimes burst at the same instant.
+            if rng.gen_range(0, 3) == 0 {
+                t += Duration::from_ns(rng.gen_range(0, 300));
+            }
+            let addr = rng.gen_range(0, 1 << 20);
+            let bank = dram.bank_of(addr) as usize;
+            if busy_until[bank] > t {
+                shadow += 1;
+            }
+            let (start, ready) = dram.access(addr, t);
+            busy_until[bank] = start + cfg.bank_busy;
+            assert!(start >= t && ready > start);
+        }
+        assert_eq!(dram.bank_conflicts(), shadow, "shadow recount disagrees");
+        assert!(dram.bank_conflicts() <= dram.accesses());
+        dram.reset();
+        assert_eq!(dram.bank_conflicts(), 0, "reset must clear the counter");
+    }
+}
+
+/// Closed-form bank-conflict cases: a same-instant burst of `n`
+/// accesses to one bank serialises as `n - 1` conflicts, while a burst
+/// spread across distinct banks (the interleaving working as designed)
+/// has none.
+#[test]
+fn dram_bank_conflict_bursts() {
+    let cfg = DramConfig::powermanna();
+    let stride = u64::from(cfg.interleave_bytes);
+
+    let mut same = Dram::new(cfg);
+    let n = 7u64;
+    for i in 0..n {
+        // Same bank: step by a full interleave round.
+        same.access(i * stride * u64::from(cfg.banks), Time::ZERO);
+    }
+    assert_eq!(same.bank_conflicts(), n - 1);
+
+    let mut spread = Dram::new(cfg);
+    for b in 0..u64::from(cfg.banks) {
+        spread.access(b * stride, Time::ZERO);
+    }
+    assert_eq!(spread.bank_conflicts(), 0);
+}
+
+// --- Stop-wire flow control (pm-net) ------------------------------------
+
+use powermanna::net::crossbar::CrossbarConfig as XbarConfig;
+use powermanna::net::flitsim::Backpressure;
+use powermanna::net::stopwire::{self, StopWireConfig, StopWireEngine};
+
+/// §3.2 losslessness, as a property: under arbitrary random
+/// backpressure schedules the PowerMANNA link delivers every byte
+/// offered and the receiver FIFO never exceeds its 32-word (256-byte)
+/// bound — the stop wire alone prevents overflow.
+#[test]
+fn stop_wire_is_lossless_and_bounded() {
+    let mut rng = cases(20);
+    let c = StopWireConfig::powermanna();
+    for _ in 0..200 {
+        let bytes = rng.gen_range(1, 8192);
+        let start = rng.gen_range(0, 500);
+        let count = rng.gen_range(0, 30) as u32;
+        let windows = stopwire::random_windows(&mut rng, start + bytes * 4 + 1, count, 1500);
+        for engine in [StopWireEngine::PerFlit, StopWireEngine::Batched] {
+            let s = stopwire::stream(engine, c, start, bytes, &windows);
+            assert_eq!(s.delivered, bytes, "{engine:?}: flit dropped");
+            assert!(
+                s.max_occupancy <= 256,
+                "{engine:?}: occupancy {} exceeds the 32-word FIFO",
+                s.max_occupancy
+            );
+            assert!(s.max_occupancy <= c.headroom_needed());
+        }
+    }
+}
+
+/// The backpressured crossbar conserves packets and payload for any
+/// traffic pattern and stall schedule, and throttled runs never beat
+/// the unobstructed ones.
+#[test]
+fn flitsim_conserves_payload_under_backpressure() {
+    let mut rng = cases(21);
+    let cfg = XbarConfig::powermanna();
+    for _ in 0..8 {
+        let per_input = rng.gen_range(1, 4) as u32;
+        let payload = rng.gen_range(16, 400) as u32;
+        let packets = flitsim::uniform_traffic(cfg, per_input, payload, rng.next_u64());
+        let windows = (0..cfg.ports)
+            .map(|_| {
+                let count = rng.gen_range(1, 10) as u32;
+                stopwire::random_windows(&mut rng, 40_000, count, 3000)
+            })
+            .collect();
+        let bp = Backpressure {
+            stop: StopWireConfig::powermanna(),
+            engine: StopWireEngine::Batched,
+            windows,
+        };
+        let free = flitsim::simulate(cfg, &packets);
+        let mut sim = flitsim::FlitSim::new();
+        let r = sim.run_with_backpressure(cfg, &packets, &bp);
+        assert_eq!(r.completions.len(), packets.len());
+        assert_eq!(r.payload_bytes, (packets.len() as u64) * u64::from(payload));
+        assert!(r.completions.iter().all(|&c| c > Time::ZERO));
+        assert!(
+            r.finished_at >= free.finished_at,
+            "backpressure finished earlier than the free run"
+        );
+    }
+}
+
 /// Page placement is a bijection at page granularity: distinct pages
 /// never collide, and offsets are preserved.
 #[test]
