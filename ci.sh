@@ -27,4 +27,15 @@ cargo test --release -q --test parity
 echo "== figure shape checks (quick) =="
 cargo run --release -p pm-bench --bin figures -- --quick --checks
 
+echo "== connection-model goldens (quick X5/X6) =="
+# The network/mesh connection models feed the X5/X6 artifacts; any
+# timing change in open/transfer/close or the stop-wire composition
+# shows up here as a CSV diff against the committed goldens. To accept
+# an intentional change, regenerate with:
+#   cargo run --release -p pm-bench --bin figures -- --quick --csv \
+#     blocking mesh_vs_xbar > tests/goldens/x5_x6_quick.csv
+cargo run --release -p pm-bench --bin figures -- --quick --csv \
+  blocking mesh_vs_xbar > target/x5_x6_quick.csv
+diff -u tests/goldens/x5_x6_quick.csv target/x5_x6_quick.csv
+
 echo "CI OK"

@@ -7,6 +7,9 @@
 //!   figures --serial        # disable the parallel sweep harness
 //!   figures --list          # list experiment ids
 //!   figures --checks        # run the headline shape checks
+//!   figures --csv x5 x6     # print raw CSV (with `# id` headers) for
+//!                           # the named experiments — ci.sh diffs this
+//!                           # against committed goldens
 //!   figures --time          # time every experiment, write BENCH_figures.json
 //!                           # (with --serial: skip the parallel pass)
 
@@ -15,8 +18,11 @@ use pm_core::matmultrun::measure_single;
 use pm_core::report::{render_terminal, run_all, write_bundle};
 use pm_core::systems;
 use pm_net::flitsim::{self, Backpressure};
+use pm_net::network::{Network, RouteBackpressure};
 use pm_net::stopwire::{StopWireConfig, StopWireEngine};
+use pm_net::topology::Topology;
 use pm_sim::par;
+use pm_sim::time::Time;
 use pm_workloads::matmult::MatMultVersion;
 use std::hint::black_box;
 use std::path::Path;
@@ -53,6 +59,24 @@ fn main() {
     }
     if args.iter().any(|a| a == "--time") {
         time_bundle(quick, serial);
+        return;
+    }
+    if args.iter().any(|a| a == "--csv") {
+        // Raw, diff-stable CSV for golden comparisons: one `# id`
+        // header per experiment, then its artifact verbatim.
+        for id in &ids {
+            match find(id) {
+                Some(exp) => {
+                    let artifact = (exp.run)(quick);
+                    println!("# {}", exp.id);
+                    print!("{}", artifact.to_csv());
+                }
+                None => {
+                    eprintln!("unknown experiment `{id}`; try --list");
+                    std::process::exit(2);
+                }
+            }
+        }
         return;
     }
 
@@ -237,6 +261,35 @@ fn time_hot_paths(quick: bool) -> Vec<HotPath> {
     let per_flit_ms = engine_ms(StopWireEngine::PerFlit);
     let batched_ms = engine_ms(StopWireEngine::Batched);
 
+    // End-to-end route backpressure: a 256-KB worm over an
+    // inter-cluster system256 route (3 crossbars, asynchronous middle
+    // segments) whose destination stalls half of every 1000-tick
+    // window. The per-flit path walks every tick of every segment's
+    // chained stream; the batched path only visits transitions.
+    let mut net = Network::new(Topology::system256());
+    let mut conn = net
+        .open(8, 127, 0, Time::ZERO)
+        .expect("inter-cluster route");
+    let start = conn.ready_at();
+    let bt = pm_net::wire::WireConfig::synchronous().byte_time.as_ps();
+    let t0 = start.as_ps().div_ceil(bt);
+    let dst_windows: Vec<(u64, u64)> = (0..400u64)
+        .map(|i| (t0 + i * 1000, t0 + i * 1000 + 500))
+        .collect();
+    let mut route_ms = |engine| {
+        let bp = RouteBackpressure {
+            engine,
+            ..RouteBackpressure::powermanna(dst_windows.clone())
+        };
+        let t = Instant::now();
+        for _ in 0..reps {
+            black_box(conn.transfer_backpressured(&mut net, start, 256 * 1024, &bp));
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let route_per_flit_ms = route_ms(StopWireEngine::PerFlit);
+    let route_batched_ms = route_ms(StopWireEngine::Batched);
+
     vec![
         HotPath {
             name: "matmult_sweep",
@@ -251,6 +304,13 @@ fn time_hot_paths(quick: bool) -> Vec<HotPath> {
             baseline_ms: per_flit_ms,
             optimized: "batched",
             optimized_ms: batched_ms,
+        },
+        HotPath {
+            name: "net_backpressure",
+            baseline: "per_flit",
+            baseline_ms: route_per_flit_ms,
+            optimized: "batched",
+            optimized_ms: route_batched_ms,
         },
     ]
 }

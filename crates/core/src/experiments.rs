@@ -16,7 +16,7 @@ use pm_cpu::run_smp;
 use pm_net::crossbar::CrossbarConfig;
 use pm_net::flitsim;
 use pm_net::mesh::{Mesh, MeshConfig};
-use pm_net::network::Network;
+use pm_net::network::{Network, RouteBackpressure};
 use pm_net::topology::{LinkKind, Topology};
 use pm_sim::par::par_sweep;
 use pm_sim::stats::{Figure, Series, Table};
@@ -493,18 +493,36 @@ fn x5_blocking(quick: bool) -> Figure {
     let per_input = if quick { 8 } else { 64 };
     let payload = 512;
     let mut s = Series::new("16x16 crossbar");
+    let mut s_bp = Series::new("16x16 crossbar (stalled consumers)");
+    // Every output's downstream side pauses for 200 of every 1000 link
+    // ticks — deterministic duty-cycle backpressure that forces the
+    // stop wires to pace the worms.
+    let stall_windows: Vec<Vec<(u64, u64)>> = (0..cfg.ports)
+        .map(|_| (0..64u64).map(|i| (i * 1000, i * 1000 + 200)).collect())
+        .collect();
     let patterns = vec![
         flitsim::permutation_traffic(cfg, per_input, payload, 1),
         flitsim::uniform_traffic(cfg, per_input, payload, 11),
         flitsim::hotspot_traffic(cfg, per_input, payload),
     ];
-    let throughput = par_sweep(patterns, |packets| {
-        flitsim::simulate(cfg, &packets).throughput_mbs()
+    let throughput = par_sweep(patterns, move |packets| {
+        let plain = flitsim::simulate(cfg, &packets).throughput_mbs();
+        let bp = flitsim::Backpressure {
+            stop: pm_net::StopWireConfig::powermanna(),
+            engine: pm_net::StopWireEngine::Batched,
+            windows: stall_windows.clone(),
+        };
+        let stalled = flitsim::FlitSim::new()
+            .run_with_backpressure(cfg, &packets, &bp)
+            .throughput_mbs();
+        (plain, stalled)
     });
-    for (i, mbs) in throughput.into_iter().enumerate() {
-        s.push(i as f64 + 1.0, mbs);
+    for (i, (plain, stalled)) in throughput.into_iter().enumerate() {
+        s.push(i as f64 + 1.0, plain);
+        s_bp.push(i as f64 + 1.0, stalled);
     }
     fig.add_series(s);
+    fig.add_series(s_bp);
     fig
 }
 
@@ -516,6 +534,8 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
     let payload = 2048u64;
     let mut s_mesh = Series::new("4x4 mesh (XY wormhole)");
     let mut s_xbar = Series::new("16x16 crossbar");
+    let mut s_mesh_bp = Series::new("4x4 mesh (blocked receivers)");
+    let mut s_xbar_bp = Series::new("16x16 crossbar (blocked receivers)");
     // Each trial seeds its own SimRng, so trials are independent sweep
     // points and fan across the pool without changing the drawn pairs.
     let per_trial = par_sweep((0..trials).collect(), |trial| {
@@ -528,20 +548,40 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
                 pairs.push((a, b));
             }
         }
+        // Receivers pause for the first 1500 link ticks of each
+        // transfer — the same schedule for mesh and crossbar, so the
+        // comparison stays apples-to-apples under backpressure.
+        let stall = |t0: u64| RouteBackpressure::powermanna(vec![(t0, t0 + 1500)]);
+        let bt = pm_net::wire::WireConfig::synchronous().byte_time.as_ps();
+
         let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
         let mut mesh_finish = Time::ZERO;
         for &(a, b) in &pairs {
-            let mut c = mesh.open(a, b, Time::ZERO);
+            // Connections close in program order, so no link is ever
+            // left held — open cannot fail.
+            let mut c = mesh.open(a, b, Time::ZERO).expect("closed in order");
             let done = c.transfer(c.ready_at(), payload);
             c.close(&mut mesh, done);
             mesh_finish = mesh_finish.max(done);
         }
+        let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
+        let mut mesh_bp_finish = Time::ZERO;
+        for &(a, b) in &pairs {
+            let mut c = mesh.open(a, b, Time::ZERO).expect("closed in order");
+            let t0 = c.ready_at().as_ps().div_ceil(bt);
+            let done = c
+                .transfer_backpressured(c.ready_at(), payload, &stall(t0))
+                .arrived;
+            c.close(&mut mesh, done);
+            mesh_bp_finish = mesh_bp_finish.max(done);
+        }
+
         let mut topo = Topology::with_nodes(16);
         let xb = topo.add_crossbar(CrossbarConfig::powermanna());
         for nid in 0..16 {
             topo.connect_node(nid, 0, xb, nid as u32, LinkKind::Synchronous);
         }
-        let mut net = Network::new(topo);
+        let mut net = Network::new(topo.clone());
         let mut xb_finish = Time::ZERO;
         for &(a, b) in &pairs {
             let mut c = net
@@ -551,14 +591,37 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
             c.close(&mut net, done);
             xb_finish = xb_finish.max(done);
         }
-        (mesh_finish.as_us_f64(), xb_finish.as_us_f64())
+        let mut net = Network::new(topo);
+        let mut xb_bp_finish = Time::ZERO;
+        for &(a, b) in &pairs {
+            let mut c = net
+                .open(a as usize, b as usize, 0, Time::ZERO)
+                .expect("crossbar route");
+            let t0 = c.ready_at().as_ps().div_ceil(bt);
+            let start = c.ready_at();
+            let done = c
+                .transfer_backpressured(&mut net, start, payload, &stall(t0))
+                .arrived;
+            c.close(&mut net, done);
+            xb_bp_finish = xb_bp_finish.max(done);
+        }
+        (
+            mesh_finish.as_us_f64(),
+            xb_finish.as_us_f64(),
+            mesh_bp_finish.as_us_f64(),
+            xb_bp_finish.as_us_f64(),
+        )
     });
-    for (trial, (mesh_us, xbar_us)) in per_trial.into_iter().enumerate() {
+    for (trial, (mesh_us, xbar_us, mesh_bp_us, xbar_bp_us)) in per_trial.into_iter().enumerate() {
         s_mesh.push(trial as f64, mesh_us);
         s_xbar.push(trial as f64, xbar_us);
+        s_mesh_bp.push(trial as f64, mesh_bp_us);
+        s_xbar_bp.push(trial as f64, xbar_bp_us);
     }
     fig.add_series(s_mesh);
     fig.add_series(s_xbar);
+    fig.add_series(s_mesh_bp);
+    fig.add_series(s_xbar_bp);
     fig
 }
 

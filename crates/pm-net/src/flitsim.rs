@@ -10,7 +10,7 @@
 //! queue in `pm-sim`.
 
 use crate::crossbar::CrossbarConfig;
-use crate::stopwire::{self, StopWireConfig, StopWireEngine};
+use crate::stopwire::{self, StallWindows, StopWireConfig, StopWireEngine};
 use pm_sim::event::EventQueue;
 use pm_sim::stats::Histogram;
 use pm_sim::time::{Duration, Time};
@@ -44,8 +44,8 @@ pub struct Backpressure {
     /// runs both and asserts identical results).
     pub engine: StopWireEngine,
     /// Per-output stall windows, sorted disjoint `[start, end)` link
-    /// ticks.
-    pub windows: Vec<Vec<(u64, u64)>>,
+    /// ticks — the same schedule type route-level backpressure uses.
+    pub windows: Vec<StallWindows>,
 }
 
 /// Result of simulating a packet batch.

@@ -42,9 +42,9 @@ pub mod wire;
 pub use crossbar::{Crossbar, CrossbarConfig};
 pub use fifo::TimedFifo;
 pub use flitsim::{FlitSimResult, Packet};
-pub use mesh::{Mesh, MeshConfig};
-pub use network::{Connection, Network, RouteError};
-pub use stopwire::{StopWireConfig, StopWireEngine, StopWireStats};
+pub use mesh::{Mesh, MeshConfig, MeshError};
+pub use network::{Connection, Network, RouteBackpressure, RouteError, RouteTransferStats};
+pub use stopwire::{RouteFlowStats, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
 pub use topology::{LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};
 pub use wire::{Wire, WireConfig};

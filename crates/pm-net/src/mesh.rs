@@ -12,9 +12,10 @@
 //! mesh paths block each other so much more than single-stage crossbar
 //! routes do. Experiment X5 runs the same traffic through both.
 
+use crate::network::{RouteBackpressure, RouteTransferStats};
+use crate::stopwire::{self, StopWireStats};
 use crate::wire::WireConfig;
 use pm_sim::time::{Duration, Time};
-use std::collections::HashMap;
 
 /// Mesh geometry and timing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +50,54 @@ impl MeshConfig {
     }
 }
 
+/// Why a mesh connection could not be opened. The mesh mirrors
+/// [`crate::network::RouteError`]: callers get a typed error instead of
+/// a panic, so X6-style experiments can handle contention races.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MeshError {
+    /// A node id is outside the mesh.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the mesh.
+        nodes: u32,
+    },
+    /// `src == dst` — a connection needs two distinct nodes.
+    SelfConnection {
+        /// The node named on both ends.
+        node: u32,
+    },
+    /// A link on the XY path is held by a connection whose close has
+    /// not been recorded, so no finite wait clears it.
+    LinkHeld {
+        /// Upstream node of the held directed link.
+        from: u32,
+        /// Downstream node of the held directed link.
+        to: u32,
+    },
+}
+
+impl core::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MeshError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node mesh")
+            }
+            MeshError::SelfConnection { node } => {
+                write!(f, "connection needs two distinct nodes, got {node} twice")
+            }
+            MeshError::LinkHeld { from, to } => {
+                write!(
+                    f,
+                    "link {from}->{to} held by an open connection; record its close first"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
 /// A directed mesh link between adjacent nodes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct LinkId {
@@ -75,7 +124,7 @@ pub struct MeshConnection {
 /// use pm_sim::time::Time;
 ///
 /// let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
-/// let mut conn = mesh.open(0, 15, Time::ZERO);
+/// let mut conn = mesh.open(0, 15, Time::ZERO).expect("links free");
 /// let done = conn.transfer(conn.ready_at(), 1024);
 /// conn.close(&mut mesh, done);
 /// ```
@@ -83,7 +132,10 @@ pub struct MeshConnection {
 pub struct Mesh {
     config: MeshConfig,
     /// Per directed link: the instant it frees (Time::MAX while held).
-    free_at: HashMap<LinkId, Time>,
+    /// Dense: `node * 4 + direction` (E, W, S, N), so the X6 inner loop
+    /// never hashes and iteration order cannot leak into a
+    /// deterministic simulation.
+    free_at: Vec<Time>,
     conflicts: u64,
     opens: u64,
 }
@@ -92,11 +144,28 @@ impl Mesh {
     /// Creates an idle mesh.
     pub fn new(config: MeshConfig) -> Self {
         Mesh {
+            free_at: vec![Time::ZERO; config.nodes() as usize * 4],
             config,
-            free_at: HashMap::new(),
             conflicts: 0,
             opens: 0,
         }
+    }
+
+    /// Dense index of a directed link: 4 slots per upstream node, one
+    /// per direction.
+    fn link_index(&self, link: LinkId) -> usize {
+        let w = self.config.width;
+        let dir = if link.to == link.from + 1 {
+            0 // east
+        } else if link.to + 1 == link.from {
+            1 // west
+        } else if link.to == link.from + w {
+            2 // south
+        } else {
+            debug_assert_eq!(link.to + w, link.from, "non-adjacent link {link:?}");
+            3 // north
+        };
+        link.from as usize * 4 + dir
     }
 
     /// The configuration.
@@ -140,42 +209,58 @@ impl Mesh {
 
     /// Opens a wormhole connection at `t`, claiming every link on the XY
     /// path (in order — the worm advances hop by hop, waiting at each
-    /// held link).
+    /// held link until its recorded release).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a node id is out of range or `src == dst`, or if any
-    /// link on the path is held by a connection whose close is not yet
-    /// recorded.
-    pub fn open(&mut self, src: u32, dst: u32, t: Time) -> MeshConnection {
-        let n = self.config.nodes();
-        assert!(src < n && dst < n, "node out of range");
-        assert_ne!(src, dst, "connection needs two distinct nodes");
-        self.opens += 1;
+    /// Returns [`MeshError`] when a node id is out of range, when
+    /// `src == dst`, or when a link on the path is held by a connection
+    /// whose close has not been recorded (no finite wait clears it).
+    pub fn open(&mut self, src: u32, dst: u32, t: Time) -> Result<MeshConnection, MeshError> {
+        let nodes = self.config.nodes();
+        for node in [src, dst] {
+            if node >= nodes {
+                return Err(MeshError::NodeOutOfRange { node, nodes });
+            }
+        }
+        if src == dst {
+            return Err(MeshError::SelfConnection { node: src });
+        }
         let path = self.xy_path(src, dst);
         let mut cursor = t;
+        let mut claimed: Vec<(usize, Time)> = Vec::with_capacity(path.len());
         for link in &path {
             // Route flit decode at this hop.
             cursor += self.config.wire.byte_time + self.config.hop_time;
-            let free = self.free_at.get(link).copied().unwrap_or(Time::ZERO);
-            assert!(
-                free != Time::MAX,
-                "link {link:?} held by an open connection; record its close first"
-            );
+            let idx = self.link_index(*link);
+            let free = self.free_at[idx];
+            if free == Time::MAX {
+                // Restore the links this open already claimed; the
+                // caller decides how to handle the un-closed holder.
+                for (i, orig) in claimed {
+                    self.free_at[i] = orig;
+                }
+                return Err(MeshError::LinkHeld {
+                    from: link.from,
+                    to: link.to,
+                });
+            }
             if free > cursor {
                 self.conflicts += 1;
                 cursor = free;
             }
-            self.free_at.insert(*link, Time::MAX);
+            claimed.push((idx, free));
+            self.free_at[idx] = Time::MAX;
         }
+        self.opens += 1;
         let head_latency = self.config.wire.latency * path.len() as u64;
-        MeshConnection {
+        Ok(MeshConnection {
             ready_at: cursor,
             byte_time: self.config.wire.byte_time,
             head_latency,
             path,
             closed: false,
-        }
+        })
     }
 
     /// Route commands that waited on a held link.
@@ -210,6 +295,47 @@ impl MeshConnection {
         start.max(self.ready_at) + self.byte_time * bytes + self.head_latency
     }
 
+    /// Streams `bytes` under end-to-end stop-wire flow control: every
+    /// directed link on the XY path gets a synchronous stop-wire state
+    /// (`bp.sync_stop` — mesh routers use the same link silicon as the
+    /// crossbars), and `bp.dst_windows` backpressure the worm hop by
+    /// hop back to the source, exactly as
+    /// [`crate::network::Connection::transfer_backpressured`] does for
+    /// crossbar routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is closed.
+    pub fn transfer_backpressured(
+        &self,
+        start: Time,
+        bytes: u64,
+        bp: &RouteBackpressure,
+    ) -> RouteTransferStats {
+        assert!(!self.closed, "transfer on closed connection");
+        let begin = start.max(self.ready_at);
+        if bytes == 0 {
+            return RouteTransferStats {
+                arrived: begin + self.head_latency,
+                source_released: begin,
+                stop_transitions: 0,
+                stalled_ticks: 0,
+                per_segment: vec![StopWireStats::default(); self.path.len()],
+            };
+        }
+        let bt = self.byte_time.as_ps();
+        let start_tick = begin.as_ps().div_ceil(bt);
+        let segments = vec![bp.sync_stop; self.path.len()];
+        let flow = stopwire::stream_route(bp.engine, &segments, start_tick, bytes, &bp.dst_windows);
+        RouteTransferStats {
+            arrived: Time::from_ps((flow.finish_tick + 1) * bt) + self.head_latency,
+            source_released: Time::from_ps((flow.source_finish_tick + 1) * bt),
+            stop_transitions: flow.stop_transitions,
+            stalled_ticks: flow.stalled_ticks,
+            per_segment: flow.per_segment,
+        }
+    }
+
     /// Records the close at `t`, releasing every link on the path.
     ///
     /// # Panics
@@ -220,7 +346,8 @@ impl MeshConnection {
         self.closed = true;
         let mut cursor = t + self.byte_time;
         for link in &self.path {
-            mesh.free_at.insert(*link, cursor);
+            let idx = mesh.link_index(*link);
+            mesh.free_at[idx] = cursor;
             cursor += self.byte_time;
         }
     }
@@ -246,9 +373,9 @@ mod tests {
     #[test]
     fn setup_scales_with_hops() {
         let mut m = mesh4x4();
-        let near = m.open(0, 1, Time::ZERO);
+        let near = m.open(0, 1, Time::ZERO).unwrap();
         let mut far_mesh = mesh4x4();
-        let far = far_mesh.open(0, 15, Time::ZERO);
+        let far = far_mesh.open(0, 15, Time::ZERO).unwrap();
         assert!(far.ready_at().as_ps() > near.ready_at().as_ps() * 5);
         assert_eq!(far.hops(), 6);
     }
@@ -257,10 +384,10 @@ mod tests {
     fn crossing_connections_block() {
         // Two row-wise connections sharing the link 1->2.
         let mut m = mesh4x4();
-        let mut a = m.open(0, 3, Time::ZERO);
+        let mut a = m.open(0, 3, Time::ZERO).unwrap();
         let done = a.transfer(a.ready_at(), 4096);
         a.close(&mut m, done);
-        let b = m.open(1, 2, Time::ZERO);
+        let b = m.open(1, 2, Time::ZERO).unwrap();
         assert!(b.ready_at() >= done, "b must wait for a's worm to clear");
         assert!(m.conflicts() >= 1);
     }
@@ -268,10 +395,59 @@ mod tests {
     #[test]
     fn disjoint_connections_do_not_block() {
         let mut m = mesh4x4();
-        let a = m.open(0, 1, Time::ZERO);
-        let b = m.open(14, 15, Time::ZERO);
+        let a = m.open(0, 1, Time::ZERO).unwrap();
+        let b = m.open(14, 15, Time::ZERO).unwrap();
         assert_eq!(a.ready_at(), b.ready_at());
         assert_eq!(m.conflicts(), 0);
+    }
+
+    #[test]
+    fn held_link_is_a_typed_error_and_leaves_the_mesh_usable() {
+        let mut m = mesh4x4();
+        // a holds 0->1->2->3 and never closes.
+        let a = m.open(0, 3, Time::ZERO).unwrap();
+        let err = m.open(1, 2, Time::ZERO).unwrap_err();
+        assert_eq!(err, MeshError::LinkHeld { from: 1, to: 2 });
+        // The failed open must not leak claims: a disjoint path that
+        // shares no link with `a` still opens, and once `a` closes the
+        // contested links open too.
+        let before = m.opens();
+        m.open(4, 7, Time::ZERO).unwrap();
+        assert_eq!(m.opens(), before + 1);
+        drop(a);
+        // (a was never closed: its links stay held, by design.)
+        assert!(m.open(1, 2, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn failed_open_restores_already_claimed_links() {
+        let mut m = mesh4x4();
+        // Hold only 2->3, then try 0->3 whose claim dies at that link.
+        let held = m.open(2, 3, Time::ZERO).unwrap();
+        let err = m.open(0, 3, Time::ZERO).unwrap_err();
+        assert_eq!(err, MeshError::LinkHeld { from: 2, to: 3 });
+        // 0->1->2 must have been released by the failed open.
+        let c = m.open(0, 2, Time::ZERO).unwrap();
+        assert_eq!(c.hops(), 2);
+        let _ = held;
+    }
+
+    #[test]
+    fn backpressured_mesh_transfer_stalls_the_source() {
+        let mut m = mesh4x4();
+        let conn = m.open(0, 15, Time::ZERO).unwrap();
+        let free = conn.transfer(conn.ready_at(), 4096);
+        let bt = conn.byte_time.as_ps();
+        let t0 = conn.ready_at().as_ps().div_ceil(bt);
+        let bp = crate::network::RouteBackpressure::powermanna(vec![(t0, t0 + 3000)]);
+        let stats = conn.transfer_backpressured(conn.ready_at(), 4096, &bp);
+        assert_eq!(stats.per_segment.len(), 6, "one stop wire per hop");
+        assert!(stats.arrived > free);
+        assert!(stats.stalled_ticks > 0);
+        for s in &stats.per_segment {
+            assert_eq!(s.delivered, 4096);
+            assert!(s.max_occupancy <= bp.sync_stop.headroom_needed());
+        }
     }
 
     #[test]
@@ -296,7 +472,7 @@ mod tests {
         let mut mesh = mesh4x4();
         let mut mesh_finish = Time::ZERO;
         for &(a, b) in &pairs {
-            let mut c = mesh.open(a, b, Time::ZERO);
+            let mut c = mesh.open(a, b, Time::ZERO).expect("closed in order");
             let done = c.transfer(c.ready_at(), 2048);
             c.close(&mut mesh, done);
             mesh_finish = mesh_finish.max(done);
@@ -338,14 +514,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "distinct nodes")]
     fn self_connection_rejected() {
-        mesh4x4().open(3, 3, Time::ZERO);
+        assert_eq!(
+            mesh4x4().open(3, 3, Time::ZERO).unwrap_err(),
+            MeshError::SelfConnection { node: 3 }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn bad_node_rejected() {
-        mesh4x4().open(0, 16, Time::ZERO);
+        assert_eq!(
+            mesh4x4().open(0, 16, Time::ZERO).unwrap_err(),
+            MeshError::NodeOutOfRange {
+                node: 16,
+                nodes: 16
+            }
+        );
     }
 }

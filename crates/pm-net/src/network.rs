@@ -7,7 +7,9 @@
 //! releases the ports.
 
 use crate::crossbar::Crossbar;
+use crate::stopwire::{self, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
 use crate::topology::{LinkKind, NodeId, Route, Topology};
+use crate::transceiver::TransceiverConfig;
 use crate::wire::WireConfig;
 use pm_sim::time::{Duration, Time};
 
@@ -46,6 +48,61 @@ impl std::error::Error for RouteError {}
 pub struct Network {
     topology: Topology,
     crossbars: Vec<Crossbar>,
+}
+
+/// How a backpressured transfer maps route segments onto stop wires.
+///
+/// Every segment of the route gets a stop-wire state: synchronous
+/// backplane segments use [`RouteBackpressure::sync_stop`], asynchronous
+/// transceiver segments (inter-cabinet, deep 2-KB FIFO with skid-byte
+/// lag) use [`RouteBackpressure::async_stop`]. The destination NI's
+/// inability to accept bytes is expressed as stall windows on the
+/// shared link-tick timeline; the stop chain carries them hop by hop
+/// back to the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteBackpressure {
+    /// Engine that computes every per-segment stream.
+    pub engine: StopWireEngine,
+    /// Stop-wire geometry of clock-synchronous backplane segments.
+    pub sync_stop: StopWireConfig,
+    /// Stop-wire geometry of asynchronous transceiver segments.
+    pub async_stop: StopWireConfig,
+    /// Absolute link ticks during which the destination NI cannot
+    /// accept bytes (sorted, disjoint, half-open), on the same timeline
+    /// as [`crate::flitsim::Backpressure`] windows: tick k covers
+    /// `[k * byte_time, (k + 1) * byte_time)`.
+    pub dst_windows: StallWindows,
+}
+
+impl RouteBackpressure {
+    /// PowerMANNA hardware: batched engine, the backplane link's
+    /// 256-byte FIFO geometry on synchronous segments and the 30 m
+    /// transceiver's 2-KB FIFO on asynchronous ones.
+    pub fn powermanna(dst_windows: StallWindows) -> Self {
+        RouteBackpressure {
+            engine: StopWireEngine::Batched,
+            sync_stop: StopWireConfig::powermanna(),
+            async_stop: TransceiverConfig::default().stop_wire(),
+            dst_windows,
+        }
+    }
+}
+
+/// What one backpressured transfer did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteTransferStats {
+    /// When the last payload byte arrived at the destination NI.
+    pub arrived: Time,
+    /// When the worm's tail left the source link: the source NI is free
+    /// (and the first segment drained) from here on, even though bytes
+    /// may still be queued in downstream FIFOs.
+    pub source_released: Time,
+    /// Total *stop* assertions over every route segment.
+    pub stop_transitions: u64,
+    /// Link ticks the source sat gated while it still had bytes.
+    pub stalled_ticks: u64,
+    /// Per-segment stream statistics, in route order.
+    pub per_segment: Vec<StopWireStats>,
 }
 
 /// An open wormhole connection.
@@ -121,8 +178,12 @@ impl Network {
             let grant = self.crossbars[hop.xbar].route(hop.in_port, hop.out_port, cursor);
             cursor = grant.established;
         }
-        // The connection is usable once the last hop is established plus
-        // the propagation of the remaining path.
+        // The connection is usable as soon as the last hop is
+        // established: the source NI can start pushing payload the
+        // moment the final route byte is decoded. Path propagation is
+        // charged exactly once, per transfer, as `head_latency` — NOT
+        // here, or a transfer right after open would pay it twice.
+        // Pinned by `open_then_immediate_transfer_charges_propagation_once`.
         let ready_at = cursor;
 
         Ok(Connection {
@@ -167,6 +228,58 @@ impl Connection {
         let begin = start.max(self.ready_at);
         self.bytes += bytes;
         begin + self.byte_time * bytes + self.head_latency
+    }
+
+    /// Streams `bytes` of payload under end-to-end stop-wire flow
+    /// control: every route segment gets a stop-wire state per
+    /// `bp`, and the destination's stall windows backpressure the whole
+    /// worm hop by hop. With no stall windows this degenerates to
+    /// [`Connection::transfer`] timing (modulo quantisation of the
+    /// start to the next link tick — the tick model is byte-clocked).
+    ///
+    /// The start is clamped to [`Connection::ready_at`] and mapped to
+    /// the link-tick timeline exactly like
+    /// [`crate::flitsim::FlitSim::run_with_backpressure`] does, so a
+    /// single-crossbar route is byte-identical to
+    /// [`stopwire::stream_per_flit`] (pinned in `tests/parity.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is closed, or if the route has multiple
+    /// segments whose stop-wire configs violate the composition
+    /// condition (see [`stopwire::stream_route`]).
+    pub fn transfer_backpressured(
+        &mut self,
+        _net: &mut Network,
+        start: Time,
+        bytes: u64,
+        bp: &RouteBackpressure,
+    ) -> RouteTransferStats {
+        assert!(!self.closed, "transfer on closed connection");
+        let begin = start.max(self.ready_at);
+        self.bytes += bytes;
+        if bytes == 0 {
+            return RouteTransferStats {
+                arrived: begin + self.head_latency,
+                source_released: begin,
+                stop_transitions: 0,
+                stalled_ticks: 0,
+                per_segment: vec![StopWireStats::default(); self.route.segments.len()],
+            };
+        }
+        let bt = self.byte_time.as_ps();
+        let start_tick = begin.as_ps().div_ceil(bt);
+        let configs = self.route.stop_configs(bp.sync_stop, bp.async_stop);
+        let flow = stopwire::stream_route(bp.engine, &configs, start_tick, bytes, &bp.dst_windows);
+        RouteTransferStats {
+            // Tick k's byte is on the wire until (k + 1) * byte_time;
+            // the head latency is charged once, as in `transfer`.
+            arrived: Time::from_ps((flow.finish_tick + 1) * bt) + self.head_latency,
+            source_released: Time::from_ps((flow.source_finish_tick + 1) * bt),
+            stop_transitions: flow.stop_transitions,
+            stalled_ticks: flow.stalled_ticks,
+            per_segment: flow.per_segment,
+        }
     }
 
     /// Sends the close command at `t`, releasing every crossbar output on
@@ -289,6 +402,80 @@ mod tests {
         c.close(&mut net, c.ready_at());
         let t = c.ready_at() + Duration::from_us(1);
         c.close(&mut net, t);
+    }
+
+    #[test]
+    fn open_then_immediate_transfer_charges_propagation_once() {
+        // Regression for the open()/ready_at contradiction: ready_at is
+        // when the last hop is established (no propagation), and the
+        // transfer charges head_latency exactly once.
+        let mut net = Network::new(Topology::two_nodes());
+        let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
+        // One route byte serialised (16.667 ns) + one 0.2 us decode,
+        // with no propagation folded in.
+        assert_eq!(conn.ready_at().as_ps(), 16_667 + 200_000);
+        let start = conn.ready_at();
+        let done = conn.transfer(&mut net, start, 1);
+        let expected = start + conn.head_latency() + WireConfig::synchronous().byte_time;
+        assert_eq!(done, expected, "head latency must be charged once");
+        // Two back-to-back transfers pay it twice in total, not thrice:
+        // each stream's head pays the pipeline fill.
+        let done2 = conn.transfer(&mut net, done, 1);
+        assert_eq!(
+            done2,
+            done + conn.head_latency() + WireConfig::synchronous().byte_time
+        );
+    }
+
+    #[test]
+    fn unobstructed_backpressured_transfer_matches_plain_transfer() {
+        let mut net = Network::new(Topology::two_nodes());
+        let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
+        let start = conn.ready_at();
+        let plain = conn.transfer(&mut net, start, 4096);
+        let bp = RouteBackpressure::powermanna(Vec::new());
+        let stats = conn.transfer_backpressured(&mut net, start, 4096, &bp);
+        // Start quantises up to the next link tick; otherwise identical.
+        let bt = WireConfig::synchronous().byte_time.as_ps();
+        let slack = bt - start.as_ps() % bt;
+        assert_eq!(stats.arrived.as_ps(), plain.as_ps() + slack % bt);
+        assert_eq!(stats.stalled_ticks, 0);
+        assert_eq!(stats.stop_transitions, 0);
+    }
+
+    #[test]
+    fn blocked_destination_backpressures_transfer_end_to_end() {
+        let mut net = Network::new(Topology::system256());
+        let mut conn = net.open(8, 127, 0, Time::ZERO).unwrap();
+        assert_eq!(conn.route().crossbars(), 3, "inter-cluster route");
+        let start = conn.ready_at();
+        let bt = WireConfig::synchronous().byte_time.as_ps();
+        let t0 = start.as_ps().div_ceil(bt);
+        // Destination blocked for 6000 ticks from the transfer start.
+        let bp = RouteBackpressure::powermanna(vec![(t0, t0 + 6000)]);
+        let free = conn.transfer(&mut net, start, 8192);
+        let stats = conn.transfer_backpressured(&mut net, start, 8192, &bp);
+        assert!(stats.arrived > free, "the block must delay the tail");
+        assert!(stats.stalled_ticks > 0, "the source must feel it");
+        assert!(stats.stop_transitions >= 1);
+        assert_eq!(stats.per_segment.len(), conn.route().segments.len());
+        for s in &stats.per_segment {
+            assert_eq!(s.delivered, 8192, "lossless on every segment");
+        }
+        assert!(
+            stats.source_released < stats.arrived,
+            "downstream FIFOs hold the tail after the source link frees"
+        );
+    }
+
+    #[test]
+    fn zero_byte_backpressured_transfer_is_head_latency_only() {
+        let mut net = Network::new(Topology::two_nodes());
+        let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
+        let bp = RouteBackpressure::powermanna(vec![(0, 1_000_000)]);
+        let stats = conn.transfer_backpressured(&mut net, conn.ready_at(), 0, &bp);
+        assert_eq!(stats.arrived, conn.ready_at() + conn.head_latency());
+        assert_eq!(stats.stalled_ticks, 0);
     }
 
     #[test]

@@ -37,6 +37,13 @@
 
 use pm_sim::rng::SimRng;
 
+/// A stall schedule: sorted, disjoint, half-open `[start, end)` windows
+/// of absolute link ticks during which a downstream consumer cannot
+/// accept bytes. Shared by the stop-wire engines, [`crate::flitsim`]'s
+/// per-output backpressure schedules and the route-level composition in
+/// [`stream_route`].
+pub type StallWindows = Vec<(u64, u64)>;
+
 /// Geometry and thresholds of one receiver FIFO + stop wire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StopWireConfig {
@@ -131,6 +138,41 @@ pub fn stream(
     }
 }
 
+/// Like [`stream`], but also returns the *gate windows*: the tick
+/// intervals during which the sender still had bytes to offer but sat
+/// gated by *stop*. The total width of the windows equals
+/// [`StopWireStats::stalled_ticks`]. When this stream models one route
+/// segment, its gate windows are exactly the ticks its sender refuses
+/// to pop the upstream FIFO — i.e. the stall schedule the *upstream*
+/// segment's drain experiences. [`stream_route`] chains them hop by hop.
+pub fn stream_gates(
+    engine: StopWireEngine,
+    config: StopWireConfig,
+    start_tick: u64,
+    bytes: u64,
+    stalls: &[(u64, u64)],
+) -> (StopWireStats, StallWindows) {
+    let mut gates = StallWindows::new();
+    let stats = match engine {
+        StopWireEngine::PerFlit => {
+            per_flit_impl(config, start_tick, bytes, stalls, Some(&mut gates))
+        }
+        StopWireEngine::Batched => {
+            batched_impl(config, start_tick, bytes, stalls, Some(&mut gates))
+        }
+    };
+    (stats, gates)
+}
+
+/// Appends `[k, k + len)` to a gate-window list, merging with the last
+/// window when adjacent so the list stays sorted and disjoint.
+fn push_gate_window(gates: &mut StallWindows, k: u64, len: u64) {
+    match gates.last_mut() {
+        Some(last) if last.1 == k => last.1 = k + len,
+        _ => gates.push((k, k + len)),
+    }
+}
+
 fn assert_windows_sorted(stalls: &[(u64, u64)]) {
     for w in stalls.windows(2) {
         assert!(
@@ -153,6 +195,16 @@ pub fn stream_per_flit(
     start_tick: u64,
     bytes: u64,
     stalls: &[(u64, u64)],
+) -> StopWireStats {
+    per_flit_impl(config, start_tick, bytes, stalls, None)
+}
+
+fn per_flit_impl(
+    config: StopWireConfig,
+    start_tick: u64,
+    bytes: u64,
+    stalls: &[(u64, u64)],
+    mut gates: Option<&mut StallWindows>,
 ) -> StopWireStats {
     config.validate();
     assert_windows_sorted(stalls);
@@ -182,6 +234,9 @@ pub fn stream_per_flit(
         if sent < bytes {
             if gate {
                 stats.stalled_ticks += 1;
+                if let Some(g) = gates.as_deref_mut() {
+                    push_gate_window(g, k, 1);
+                }
             } else {
                 occ += 1;
                 sent += 1;
@@ -221,6 +276,16 @@ pub fn stream_batched(
     start_tick: u64,
     bytes: u64,
     stalls: &[(u64, u64)],
+) -> StopWireStats {
+    batched_impl(config, start_tick, bytes, stalls, None)
+}
+
+fn batched_impl(
+    config: StopWireConfig,
+    start_tick: u64,
+    bytes: u64,
+    stalls: &[(u64, u64)],
+    mut gates: Option<&mut StallWindows>,
 ) -> StopWireStats {
     config.validate();
     assert_windows_sorted(stalls);
@@ -316,6 +381,9 @@ pub fn stream_batched(
         // counts or none of it does.
         if gate && sent < bytes {
             stats.stalled_ticks += dt;
+            if let Some(g) = gates.as_deref_mut() {
+                push_gate_window(g, k, dt);
+            }
         }
         stats.max_occupancy = stats.max_occupancy.max(occ as u32);
         k += dt;
@@ -331,6 +399,90 @@ pub fn stream_batched(
         }
     }
     stats
+}
+
+/// What a whole route's worth of chained stop-wire streams did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouteFlowStats {
+    /// Bytes delivered to the destination (lossless: equals the offer).
+    pub delivered: u64,
+    /// Absolute tick of the last byte's delivery at the destination.
+    pub finish_tick: u64,
+    /// Absolute tick the first segment's FIFO drained its last byte —
+    /// when the worm's tail leaves the source link. Under downstream
+    /// blocking this trails [`Self::finish_tick`] by far less than the
+    /// unobstructed gap, because backpressure holds bytes *upstream*.
+    pub source_finish_tick: u64,
+    /// Total *stop* assertions summed over every segment.
+    pub stop_transitions: u64,
+    /// Ticks the *source* sat gated while it still had bytes (the first
+    /// segment's [`StopWireStats::stalled_ticks`]).
+    pub stalled_ticks: u64,
+    /// Per-segment stream statistics, in route order (source first).
+    pub per_segment: Vec<StopWireStats>,
+}
+
+/// Streams `bytes` through a whole route of stop-wire segments, source
+/// first: `segments[0]` is the node→crossbar link, the last segment the
+/// crossbar→node link at the destination, and `dst_stalls` are the
+/// ticks the destination NI cannot accept bytes.
+///
+/// All segments share one link-tick timeline (wormhole cut-through: a
+/// byte pushed into a hop's FIFO can be popped by the next hop in the
+/// same tick, so an unobstructed route delivers one byte per tick
+/// regardless of length — propagation is charged separately, once, by
+/// the connection model). The composition runs the *last* segment
+/// against `dst_stalls`, extracts its gate windows (the ticks its
+/// sender refuses to pop the upstream FIFO), and feeds them upstream as
+/// the previous segment's stall schedule, and so on back to the source.
+/// `tests/properties.rs` pins this against a joint tick-by-tick
+/// simulation of all FIFOs.
+///
+/// # Panics
+///
+/// Panics on an empty segment list, on an invalid segment config, and —
+/// for multi-segment routes — unless every segment satisfies
+/// `resume_threshold > stop_lag`. That is the condition under which an
+/// inter-hop FIFO can never underrun while its consumer is ungated and
+/// hungry (occupancy at gate release is at least `resume_threshold -
+/// stop_lag - 1` plus the same-tick cut-through byte), which is what
+/// makes the segment-by-segment composition exact.
+pub fn stream_route(
+    engine: StopWireEngine,
+    segments: &[StopWireConfig],
+    start_tick: u64,
+    bytes: u64,
+    dst_stalls: &[(u64, u64)],
+) -> RouteFlowStats {
+    assert!(!segments.is_empty(), "route needs at least one segment");
+    if segments.len() > 1 {
+        for config in segments {
+            assert!(
+                config.resume_threshold > config.stop_lag,
+                "multi-hop composition needs resume_threshold {} > stop_lag {} \
+                 or an inter-hop FIFO could underrun while bytes remain",
+                config.resume_threshold,
+                config.stop_lag
+            );
+        }
+    }
+    let mut per_segment = vec![StopWireStats::default(); segments.len()];
+    let mut stalls: StallWindows = dst_stalls.to_vec();
+    for (i, &config) in segments.iter().enumerate().rev() {
+        let (stats, gates) = stream_gates(engine, config, start_tick, bytes, &stalls);
+        per_segment[i] = stats;
+        stalls = gates;
+    }
+    let first = per_segment[0];
+    let last = *per_segment.last().unwrap();
+    RouteFlowStats {
+        delivered: last.delivered,
+        finish_tick: last.finish_tick,
+        source_finish_tick: first.finish_tick,
+        stop_transitions: per_segment.iter().map(|s| s.stop_transitions).sum(),
+        stalled_ticks: first.stalled_ticks,
+        per_segment,
+    }
 }
 
 /// Generates a deterministic random backpressure schedule: up to
@@ -438,5 +590,87 @@ mod tests {
         let mut c = cfg();
         c.stop_threshold = c.fifo_bytes; // no room for in-flight bytes
         c.validate();
+    }
+
+    #[test]
+    fn gate_windows_match_stalled_ticks_and_engines_agree() {
+        let c = cfg();
+        let stalls = vec![(10, 400), (500, 900), (1200, 1500)];
+        let (per_flit, g1) = stream_gates(StopWireEngine::PerFlit, c, 3, 4096, &stalls);
+        let (batched, g2) = stream_gates(StopWireEngine::Batched, c, 3, 4096, &stalls);
+        assert_eq!(per_flit, batched);
+        assert_eq!(g1, g2, "gate windows diverge between engines");
+        assert_windows_sorted(&g1);
+        let width: u64 = g1.iter().map(|&(s, e)| e - s).sum();
+        assert_eq!(width, per_flit.stalled_ticks);
+        assert!(
+            per_flit.stalled_ticks > 0,
+            "schedule should gate the sender"
+        );
+    }
+
+    #[test]
+    fn single_segment_route_equals_plain_stream() {
+        let c = cfg();
+        let stalls = vec![(0, 700)];
+        for engine in [StopWireEngine::PerFlit, StopWireEngine::Batched] {
+            let flow = stream_route(engine, &[c], 5, 2000, &stalls);
+            let plain = stream(engine, c, 5, 2000, &stalls);
+            assert_eq!(flow.per_segment, vec![plain]);
+            assert_eq!(flow.finish_tick, plain.finish_tick);
+            assert_eq!(flow.source_finish_tick, plain.finish_tick);
+            assert_eq!(flow.stalled_ticks, plain.stalled_ticks);
+        }
+    }
+
+    #[test]
+    fn unobstructed_route_delivers_at_link_rate_regardless_of_length() {
+        let c = cfg();
+        for n in 1..=4 {
+            let flow = stream_route(StopWireEngine::Batched, &vec![c; n], 10, 500, &[]);
+            assert_eq!(flow.delivered, 500);
+            assert_eq!(flow.finish_tick, 509, "cut-through: length-free");
+            assert_eq!(flow.stalled_ticks, 0);
+            assert_eq!(flow.stop_transitions, 0);
+        }
+    }
+
+    #[test]
+    fn destination_block_backpressures_the_source() {
+        let c = cfg();
+        // Destination blocked long enough that every FIFO on a 3-segment
+        // route fills and the stop chain reaches the source.
+        let flow = stream_route(StopWireEngine::Batched, &[c; 3], 0, 8192, &[(0, 4000)]);
+        assert_eq!(flow.delivered, 8192, "lossless end to end");
+        assert!(flow.stalled_ticks > 0, "source must feel the block");
+        assert!(flow.stop_transitions >= 3, "every hop should assert stop");
+        for s in &flow.per_segment {
+            assert!(s.max_occupancy <= c.headroom_needed());
+        }
+        // The source link frees long before the destination finishes
+        // draining: the route's FIFOs hold the in-flight tail.
+        assert!(flow.source_finish_tick < flow.finish_tick);
+    }
+
+    #[test]
+    fn route_engines_agree() {
+        let c = cfg();
+        let stalls = vec![(50, 600), (900, 1400)];
+        let a = stream_route(StopWireEngine::PerFlit, &[c; 3], 7, 5000, &stalls);
+        let b = stream_route(StopWireEngine::Batched, &[c; 3], 7, 5000, &stalls);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume_threshold")]
+    fn multi_hop_route_rejects_underrun_prone_config() {
+        let c = StopWireConfig {
+            fifo_bytes: 64,
+            stop_threshold: 32,
+            resume_threshold: 2,
+            stop_lag: 8,
+        };
+        c.validate(); // fine on its own...
+        stream_route(StopWireEngine::Batched, &[c; 2], 0, 100, &[]); // ...not in a chain
     }
 }

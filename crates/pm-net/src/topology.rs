@@ -14,6 +14,7 @@
 //! node pair routes through cluster-xbar → middle-xbar → cluster-xbar.
 
 use crate::crossbar::CrossbarConfig;
+use crate::stopwire::StopWireConfig;
 use std::collections::{HashMap, VecDeque};
 
 /// Index of a node in a topology.
@@ -80,6 +81,24 @@ impl Route {
     /// Number of crossbars on the route.
     pub fn crossbars(&self) -> usize {
         self.hops.len()
+    }
+
+    /// The stop-wire geometry of every segment, in route order: each
+    /// clock-synchronous segment gets `sync`, each asynchronous
+    /// transceiver segment gets `asynchronous` (deep FIFO, skid-byte
+    /// lag). Feeds [`crate::stopwire::stream_route`].
+    pub fn stop_configs(
+        &self,
+        sync: StopWireConfig,
+        asynchronous: StopWireConfig,
+    ) -> Vec<StopWireConfig> {
+        self.segments
+            .iter()
+            .map(|kind| match kind {
+                LinkKind::Synchronous => sync,
+                LinkKind::Asynchronous => asynchronous,
+            })
+            .collect()
     }
 }
 
@@ -424,6 +443,23 @@ mod tests {
         let r = t.route(0, 127, 0).unwrap();
         assert!(r.segments.contains(&LinkKind::Asynchronous));
         assert_eq!(r.crossbars(), 3);
+    }
+
+    #[test]
+    fn stop_configs_follow_segment_kinds() {
+        let sync = StopWireConfig::powermanna();
+        let asynchronous = crate::transceiver::TransceiverConfig::default().stop_wire();
+        let t = Topology::system256();
+        let r = t.route(0, 127, 0).unwrap();
+        let configs = r.stop_configs(sync, asynchronous);
+        assert_eq!(configs.len(), r.segments.len());
+        for (config, kind) in configs.iter().zip(&r.segments) {
+            match kind {
+                LinkKind::Synchronous => assert_eq!(*config, sync),
+                LinkKind::Asynchronous => assert_eq!(*config, asynchronous),
+            }
+        }
+        assert!(configs.contains(&asynchronous));
     }
 
     #[test]

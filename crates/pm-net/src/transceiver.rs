@@ -13,6 +13,7 @@
 //! whose round-trip time exceeds many byte times.
 
 use crate::fifo::TimedFifo;
+use crate::stopwire::StopWireConfig;
 use crate::wire::{Wire, WireConfig};
 use pm_sim::time::{Duration, Time};
 
@@ -65,6 +66,24 @@ impl TransceiverConfig {
     /// Bytes in flight during one stop round trip at link rate.
     pub fn skid_bytes(&self) -> u32 {
         (self.stop_round_trip().as_ps() / self.wire.byte_time.as_ps()) as u32 + 1
+    }
+
+    /// The stop-wire view of an asynchronous route segment: the deep
+    /// receive-side FIFO with its *stop* observed one cable round trip
+    /// late. Stop asserts at 7/8 full (clamped so the skid bytes always
+    /// fit), resumes at half, and the lag is [`Self::skid_bytes`] link
+    /// ticks — the asynchronous analogue of the backplane link's
+    /// [`StopWireConfig::powermanna`].
+    pub fn stop_wire(&self) -> StopWireConfig {
+        let lag = self.skid_bytes();
+        let config = StopWireConfig {
+            fifo_bytes: self.fifo_bytes,
+            stop_threshold: (self.fifo_bytes * 7 / 8).min(self.fifo_bytes - lag - 1),
+            resume_threshold: self.fifo_bytes / 2,
+            stop_lag: lag,
+        };
+        config.validate();
+        config
     }
 }
 
@@ -171,6 +190,22 @@ mod tests {
             "skid {}",
             cfg.skid_bytes()
         );
+    }
+
+    #[test]
+    fn stop_wire_covers_the_skid_and_composes_in_routes() {
+        let cfg = TransceiverConfig::powermanna(30);
+        let sw = cfg.stop_wire();
+        assert_eq!(sw.fifo_bytes, 2048);
+        assert_eq!(sw.stop_lag, cfg.skid_bytes());
+        // Lossless by construction, and deep enough to compose with
+        // synchronous hops in a multi-segment route (no underrun).
+        assert!(sw.headroom_needed() <= sw.fifo_bytes);
+        assert!(sw.resume_threshold > sw.stop_lag);
+        // Even the worst-case legal cable keeps its skid covered.
+        for metres in [0, 1, 15, 30] {
+            TransceiverConfig::powermanna(metres).stop_wire();
+        }
     }
 
     #[test]

@@ -20,9 +20,11 @@ use powermanna::mem::hierarchy::AccessResult;
 use powermanna::mem::{pool, Access, HierarchyConfig, MemorySystem};
 use powermanna::net::crossbar::CrossbarConfig;
 use powermanna::net::flitsim::{self, Backpressure, FlitSim, FlitSimResult};
+use powermanna::net::network::{Network, RouteBackpressure};
 use powermanna::net::stopwire::{
-    random_windows, stream_batched, stream_per_flit, StopWireConfig, StopWireEngine,
+    random_windows, stream_batched, stream_per_flit, stream_route, StopWireConfig, StopWireEngine,
 };
+use powermanna::net::topology::Topology;
 use powermanna::sim::rng::SimRng;
 use powermanna::sim::time::Time;
 use powermanna::workloads::matmult::MatMultVersion;
@@ -312,6 +314,154 @@ fn flitsim_backpressure_engines_agree() {
             a.payload_bytes,
             traffic.iter().map(|p| u64::from(p.payload)).sum::<u64>()
         );
+    }
+}
+
+// --- Route-level backpressure: per-flit vs batched, model vs reference ---
+
+/// Draws a random stop-wire configuration that is also *composable*:
+/// `resume_threshold > stop_lag`, the condition `stream_route` demands
+/// of multi-segment routes (see its docs — it guarantees inter-hop
+/// FIFOs never underrun while bytes remain).
+fn random_route_stop_config(rng: &mut SimRng) -> StopWireConfig {
+    let fifo_bytes = rng.gen_range(32, 513) as u32;
+    let stop_lag = rng.gen_range(0, 9) as u32;
+    let max_stop = fifo_bytes - stop_lag - 1;
+    let stop_threshold = rng.gen_range(u64::from(stop_lag) + 2, u64::from(max_stop) + 1) as u32;
+    let resume_threshold = rng.gen_range(u64::from(stop_lag) + 1, u64::from(stop_threshold)) as u32;
+    StopWireConfig {
+        fifo_bytes,
+        stop_threshold,
+        resume_threshold,
+        stop_lag,
+    }
+}
+
+/// The chained route engine is byte-identical across both per-segment
+/// engines over a corpus of random route shapes, mixed per-segment
+/// geometries and random destination stall schedules.
+#[test]
+fn route_engines_agree_on_random_corpus() {
+    let mut rng = cases(5);
+    for case in 0..200 {
+        let segments: Vec<StopWireConfig> = (0..rng.gen_range(1, 5))
+            .map(|_| random_route_stop_config(&mut rng))
+            .collect();
+        let start_tick = rng.gen_range(0, 2000);
+        let bytes = rng.gen_range(1, 6000);
+        let horizon = start_tick + bytes * 3 + 10;
+        let count = rng.gen_range(0, 24) as u32;
+        let windows = random_windows(&mut rng, horizon, count, 700);
+
+        let a = stream_route(
+            StopWireEngine::PerFlit,
+            &segments,
+            start_tick,
+            bytes,
+            &windows,
+        );
+        let b = stream_route(
+            StopWireEngine::Batched,
+            &segments,
+            start_tick,
+            bytes,
+            &windows,
+        );
+        assert_eq!(
+            a, b,
+            "route engines diverge on case {case}: {segments:?} \
+             start={start_tick} bytes={bytes} windows={windows:?}"
+        );
+        assert_eq!(a.delivered, bytes, "case {case}: bytes dropped");
+        for (i, s) in a.per_segment.iter().enumerate() {
+            assert_eq!(s.delivered, bytes, "case {case}: segment {i} dropped");
+            assert!(
+                s.max_occupancy <= segments[i].fifo_bytes,
+                "case {case}: segment {i} FIFO overflow"
+            );
+        }
+    }
+}
+
+/// The acceptance pin: a backpressured `Network` transfer over a
+/// single-crossbar route is byte-identical to the per-flit stop-wire
+/// reference — the arrival is the reference's finish tick mapped back
+/// to picoseconds plus the head latency charged once, and the
+/// destination-side segment stats are the reference's stats verbatim.
+#[test]
+fn backpressured_network_single_crossbar_matches_per_flit_reference() {
+    let mut rng = cases(6);
+    let byte_time = powermanna::net::wire::WireConfig::synchronous().byte_time;
+    for case in 0..40 {
+        let mut net = Network::new(Topology::two_nodes());
+        let mut conn = net.open(0, 1, 0, Time::ZERO).expect("two-node route");
+        let start =
+            conn.ready_at() + powermanna::sim::time::Duration::from_ps(rng.gen_range(0, 50_000));
+        let bytes = rng.gen_range(1, 8000);
+        let bt = byte_time.as_ps();
+        let start_tick = start.as_ps().div_ceil(bt);
+        let horizon = start_tick + bytes * 3 + 10;
+        let count = rng.gen_range(0, 16) as u32;
+        let windows = random_windows(&mut rng, horizon, count, 900);
+
+        let reference = stream_per_flit(StopWireConfig::powermanna(), start_tick, bytes, &windows);
+
+        for engine in [StopWireEngine::PerFlit, StopWireEngine::Batched] {
+            let bp = RouteBackpressure {
+                engine,
+                ..RouteBackpressure::powermanna(windows.clone())
+            };
+            let stats = conn.transfer_backpressured(&mut net, start, bytes, &bp);
+            assert_eq!(
+                stats.arrived,
+                Time::from_ps((reference.finish_tick + 1) * bt) + conn.head_latency(),
+                "case {case} ({engine:?}): arrival diverges from the reference"
+            );
+            assert_eq!(
+                *stats.per_segment.last().unwrap(),
+                reference,
+                "case {case} ({engine:?}): destination segment stats diverge"
+            );
+        }
+    }
+}
+
+/// Multi-hop inter-cluster routes (3 crossbars, asynchronous middle
+/// segments with skid-byte lags) give identical backpressured results
+/// under both engines, and never lose payload on any segment.
+#[test]
+fn backpressured_network_multi_hop_engines_agree() {
+    let mut rng = cases(7);
+    let mut net = Network::new(Topology::system256());
+    for case in 0..20 {
+        // Distinct clusters, so the route crosses the middle stage.
+        let src = rng.gen_range(0, 64) as usize;
+        let dst = 64 + rng.gen_range(0, 64) as usize;
+        let mut conn = net.open(src, dst, 0, Time::ZERO).expect("route");
+        let bytes = rng.gen_range(1, 12_000);
+        let bt = powermanna::net::wire::WireConfig::synchronous()
+            .byte_time
+            .as_ps();
+        let t0 = conn.ready_at().as_ps().div_ceil(bt);
+        let windows = random_windows(&mut rng, t0 + bytes * 3 + 10, 12, 2000);
+
+        let run = |engine, net: &mut Network, conn: &mut powermanna::net::network::Connection| {
+            let bp = RouteBackpressure {
+                engine,
+                ..RouteBackpressure::powermanna(windows.clone())
+            };
+            let start = conn.ready_at();
+            conn.transfer_backpressured(net, start, bytes, &bp)
+        };
+        let a = run(StopWireEngine::PerFlit, &mut net, &mut conn);
+        let b = run(StopWireEngine::Batched, &mut net, &mut conn);
+        assert_eq!(a, b, "case {case}: engines diverge on {src}->{dst}");
+        assert_eq!(a.per_segment.len(), conn.route().segments.len());
+        for s in &a.per_segment {
+            assert_eq!(s.delivered, bytes, "case {case}: segment lost bytes");
+        }
+        let done = a.arrived;
+        conn.close(&mut net, done);
     }
 }
 

@@ -589,6 +589,149 @@ fn flitsim_conserves_payload_under_backpressure() {
     }
 }
 
+/// End-to-end route backpressure, checked against ground truth: a
+/// *joint* tick-by-tick simulation of every FIFO on the route evolving
+/// together (payload identity tracked per byte) must deliver every
+/// byte exactly once, in order — and the compositional
+/// `stopwire::stream_route` (per-segment streams chained through gate
+/// windows) must reproduce that joint simulation exactly: finish
+/// ticks, per-segment stall counts and occupancy bounds.
+#[test]
+fn route_backpressure_never_loses_or_reorders_bytes() {
+    use std::collections::VecDeque;
+    let mut rng = cases(22);
+    for case in 0..60 {
+        let n = rng.gen_range(1, 5) as usize;
+        let segments: Vec<StopWireConfig> = (0..n)
+            .map(|_| {
+                // Composable geometry: resume_threshold > stop_lag, as
+                // stream_route demands of multi-segment routes.
+                let fifo_bytes = rng.gen_range(32, 513) as u32;
+                let stop_lag = rng.gen_range(0, 9) as u32;
+                let max_stop = fifo_bytes - stop_lag - 1;
+                let stop_threshold =
+                    rng.gen_range(u64::from(stop_lag) + 2, u64::from(max_stop) + 1) as u32;
+                let resume_threshold =
+                    rng.gen_range(u64::from(stop_lag) + 1, u64::from(stop_threshold)) as u32;
+                StopWireConfig {
+                    fifo_bytes,
+                    stop_threshold,
+                    resume_threshold,
+                    stop_lag,
+                }
+            })
+            .collect();
+        let start_tick = rng.gen_range(0, 500);
+        let bytes = rng.gen_range(1, 4000);
+        let count = rng.gen_range(0, 16) as u32;
+        let stalls = stopwire::random_windows(&mut rng, start_tick + bytes * 3 + 10, count, 800);
+
+        // --- Joint simulation: one shared timeline, all FIFOs at once.
+        // Per tick, segments advance in route order (a byte pushed into
+        // a FIFO can be popped by the next hop the same tick — wormhole
+        // cut-through), then the destination drains unless stalled,
+        // then every wire re-evaluates on end-of-tick occupancy.
+        let lag: Vec<usize> = segments.iter().map(|c| c.stop_lag as usize + 1).collect();
+        let mut rings: Vec<Vec<bool>> = lag.iter().map(|&l| vec![false; l]).collect();
+        let mut stops = vec![false; n];
+        let mut fifos: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut sent = vec![0u64; n];
+        let mut stalled = vec![0u64; n];
+        let mut max_occ = vec![0u32; n];
+        let mut seg_finish = vec![start_tick; n];
+        let mut delivered_ids: Vec<u64> = Vec::with_capacity(bytes as usize);
+        let mut window = 0usize;
+        let mut k = start_tick;
+        while (delivered_ids.len() as u64) < bytes {
+            assert!(k < start_tick + 1_000_000, "case {case}: joint sim wedged");
+            for i in 0..n {
+                let gate = rings[i][(k as usize) % lag[i]];
+                if sent[i] < bytes {
+                    if gate {
+                        stalled[i] += 1;
+                    } else {
+                        // The sender pops the upstream FIFO (the source
+                        // mints the next payload byte).
+                        let byte = if i == 0 {
+                            Some(sent[0])
+                        } else {
+                            let b = fifos[i - 1].pop_front();
+                            if b.is_some() {
+                                seg_finish[i - 1] = k;
+                            }
+                            b
+                        };
+                        if let Some(b) = byte {
+                            fifos[i].push_back(b);
+                            sent[i] += 1;
+                        }
+                    }
+                }
+            }
+            while window < stalls.len() && stalls[window].1 <= k {
+                window += 1;
+            }
+            let dst_stalled =
+                window < stalls.len() && stalls[window].0 <= k && k < stalls[window].1;
+            if !dst_stalled {
+                if let Some(b) = fifos[n - 1].pop_front() {
+                    seg_finish[n - 1] = k;
+                    delivered_ids.push(b);
+                }
+            }
+            for i in 0..n {
+                let occ = fifos[i].len() as u32;
+                if occ >= segments[i].stop_threshold {
+                    stops[i] = true;
+                } else if occ <= segments[i].resume_threshold {
+                    stops[i] = false;
+                }
+                max_occ[i] = max_occ[i].max(occ);
+                rings[i][(k as usize) % lag[i]] = stops[i];
+            }
+            k += 1;
+        }
+
+        // Ground truth: lossless and in order.
+        assert_eq!(delivered_ids.len() as u64, bytes, "case {case}: lost bytes");
+        for (i, &b) in delivered_ids.iter().enumerate() {
+            assert_eq!(b, i as u64, "case {case}: byte reordered or duplicated");
+        }
+        // The compositional engine reproduces the joint simulation.
+        let flow = stopwire::stream_route(
+            StopWireEngine::Batched,
+            &segments,
+            start_tick,
+            bytes,
+            &stalls,
+        );
+        assert_eq!(flow.delivered, bytes, "case {case}");
+        assert_eq!(
+            flow.finish_tick,
+            seg_finish[n - 1],
+            "case {case}: finish tick diverges from the joint simulation"
+        );
+        for i in 0..n {
+            assert_eq!(
+                flow.per_segment[i].finish_tick, seg_finish[i],
+                "case {case}: segment {i} finish tick"
+            );
+            assert_eq!(
+                flow.per_segment[i].stalled_ticks, stalled[i],
+                "case {case}: segment {i} stalled ticks"
+            );
+            assert_eq!(
+                flow.per_segment[i].max_occupancy, max_occ[i],
+                "case {case}: segment {i} peak occupancy"
+            );
+            assert!(
+                max_occ[i] <= segments[i].fifo_bytes,
+                "case {case}: overflow"
+            );
+        }
+    }
+}
+
 /// Page placement is a bijection at page granularity: distinct pages
 /// never collide, and offsets are preserved.
 #[test]
