@@ -38,4 +38,15 @@ cargo run --release -p pm-bench --bin figures -- --quick --csv \
   blocking mesh_vs_xbar > target/x5_x6_quick.csv
 diff -u tests/goldens/x5_x6_quick.csv target/x5_x6_quick.csv
 
+echo "== fault-injection golden (quick X8) =="
+# The X8 degradation curve pins the whole fault layer: the seeded
+# FaultPlan schedule, the transient-injector decision stream, the
+# retransmission/backoff timing and the plane-failover path. Regenerate
+# an intentional change with:
+#   cargo run --release -p pm-bench --bin figures -- --quick --csv \
+#     faults > tests/goldens/x8_quick.csv
+cargo run --release -p pm-bench --bin figures -- --quick --csv \
+  faults > target/x8_quick.csv
+diff -u tests/goldens/x8_quick.csv target/x8_quick.csv
+
 echo "CI OK"

@@ -164,9 +164,9 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: |quick| Artifact::Figure(x7_collectives(quick)),
         },
         Experiment {
-            id: "earth",
-            title: "X8 — EARTH fibers hiding remote latency (§7 future work)",
-            run: |quick| Artifact::Figure(x8_earth(quick)),
+            id: "faults",
+            title: "X8 — goodput vs injected fault rate (fault injection & failover)",
+            run: |quick| Artifact::Figure(x8_faults(quick)),
         },
         Experiment {
             id: "tiling",
@@ -177,6 +177,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "app_stencil",
             title: "X10 — Jacobi stencil weak scaling (the §7 application study)",
             run: |quick| Artifact::Figure(x10_stencil(quick)),
+        },
+        Experiment {
+            id: "earth",
+            title: "X11 — EARTH fibers hiding remote latency (§7 future work)",
+            run: |quick| Artifact::Figure(x11_earth(quick)),
         },
     ]
 }
@@ -659,12 +664,86 @@ fn x7_collectives(quick: bool) -> Figure {
     fig
 }
 
-/// X8: EARTH-style split-phase multithreading — remote-operation
+/// X8: goodput under injected faults — the duplicated network earning
+/// its keep. Three series over the transient fault rate: a clean
+/// reference, transient corruption recovered by CRC + retransmission,
+/// and the same with a plane-0 link killed mid-run so every later
+/// transfer fails over to the secondary plane (240 → 120 Mbyte/s).
+fn x8_faults(quick: bool) -> Figure {
+    let mut fig = Figure::new(
+        "x8 (goodput vs fault rate)",
+        "injected transient fault rate",
+        "goodput [Mbyte/s]",
+    );
+    let rates: &[f64] = if quick {
+        &[0.0, 0.2, 0.4]
+    } else {
+        &[0.0, 0.02, 0.05, 0.1, 0.2, 0.4]
+    };
+    let per_rate = par_sweep(rates.to_vec(), move |rate| {
+        (
+            x8_goodput(quick, 0.0, false),
+            x8_goodput(quick, rate, false),
+            x8_goodput(quick, rate, true),
+        )
+    });
+    let mut clean = Series::new("clean (duplicated network)");
+    let mut transient = Series::new("transient faults + retransmission");
+    let mut degraded = Series::new("one plane dead + failover");
+    for (&rate, (c, tr, dg)) in rates.iter().zip(per_rate) {
+        clean.push(rate, c);
+        transient.push(rate, tr);
+        degraded.push(rate, dg);
+    }
+    fig.add_series(clean);
+    fig.add_series(transient);
+    fig.add_series(degraded);
+    fig
+}
+
+/// One X8 measurement: two message streams (one per preferred plane)
+/// between a node pair, driven through [`ResilientNetwork`] under a
+/// seeded fault plan; returns goodput in Mbyte/s. `kill_plane0` adds a
+/// scheduled death of node 0's plane-0 link mid-run.
+fn x8_goodput(quick: bool, rate: f64, kill_plane0: bool) -> f64 {
+    use pm_comm::reliable::ResilientNetwork;
+    use pm_net::fault::{FaultPlan, LinkRef};
+
+    let (messages, payload) = if quick { (16, 4096) } else { (64, 16384) };
+    let kill_at = if quick {
+        Time::from_ps(150_000_000) // 150 us: after ~2 round trips
+    } else {
+        Time::from_ps(2_000_000_000) // 2 ms: about a quarter through
+    };
+    let mut plan = FaultPlan::clean(0xFA17)
+        .with_transient_rate(rate)
+        .expect("sweep rates are in range");
+    if kill_plane0 {
+        plan = plan.kill_link(kill_at, LinkRef::NodeLink { node: 0, plane: 0 });
+    }
+    let mut rn = ResilientNetwork::new(Network::new(Topology::two_nodes()), plan);
+    let mut buf = vec![0u8; payload];
+    // Two independent streams, one preferring each plane, with their
+    // own time cursors — the clean case keeps both planes busy.
+    let mut cursors = [Time::ZERO; 2];
+    for i in 0..messages {
+        buf[0] = i as u8;
+        let plane = (i % 2) as u32;
+        let d = rn
+            .send(0, 1, plane, cursors[plane as usize], &buf)
+            .expect("a healthy plane remains");
+        cursors[plane as usize] = d.delivered_at;
+    }
+    let elapsed = cursors[0].max(cursors[1]);
+    (messages * payload) as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+/// X11: EARTH-style split-phase multithreading — remote-operation
 /// throughput vs fiber count (the §7 latency-tolerance claim).
-fn x8_earth(quick: bool) -> Figure {
+fn x11_earth(quick: bool) -> Figure {
     use pm_comm::earth::{tolerance_curve, EarthConfig};
     let mut fig = Figure::new(
-        "x8 (EARTH latency tolerance)",
+        "x11 (EARTH latency tolerance)",
         "fibers",
         "remote ops [Mops/s]",
     );
@@ -823,6 +902,17 @@ pub fn headline_checks() -> Vec<(String, bool, String)> {
         ),
     ));
 
+    let clean = x8_goodput(true, 0.0, false);
+    let transient = x8_goodput(true, 0.2, false);
+    let degraded = x8_goodput(true, 0.2, true);
+    out.push((
+        "x8: faults only ever cost goodput (degraded ≤ transient ≤ clean)".into(),
+        degraded <= transient && transient <= clean,
+        format!(
+            "clean {clean:.1} / transient {transient:.1} / one-plane-dead {degraded:.1} Mbyte/s"
+        ),
+    ));
+
     out
 }
 
@@ -899,6 +989,36 @@ mod tests {
         };
         let pts = f.series()[0].points();
         assert!(pts[1].1 > 1.9 * pts[0].1 * 0.98);
+    }
+
+    #[test]
+    fn x8_faults_degrade_monotonically_in_kind() {
+        let Artifact::Figure(f) = (find("faults").unwrap().run)(true) else {
+            panic!("faults is a figure");
+        };
+        assert_eq!(f.series().len(), 3);
+        let clean = f.series()[0].points().to_vec();
+        let transient = f.series()[1].points().to_vec();
+        let degraded = f.series()[2].points().to_vec();
+        for ((c, t), d) in clean.iter().zip(&transient).zip(&degraded) {
+            assert!(c.1 > 0.0 && t.1 > 0.0 && d.1 > 0.0);
+            assert!(
+                t.1 <= c.1,
+                "transient {:.1} must not beat clean {:.1}",
+                t.1,
+                c.1
+            );
+            assert!(
+                d.1 <= t.1,
+                "plane-dead {:.1} must not beat transient {:.1}",
+                d.1,
+                t.1
+            );
+        }
+        // At rate 0 the transient series equals the clean reference.
+        assert_eq!(clean[0].1, transient[0].1);
+        // Losing a plane costs real bandwidth even with no bit errors.
+        assert!(degraded[0].1 < 0.75 * clean[0].1);
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub fn run_hint(system: &System, dtype: HintType, max_memory_bytes: u64) -> Hint
         let mut points = Vec::new();
         while hint.memory_bytes() < max_memory_bytes {
             let pass = hint.pass();
-            let result = cpu.execute_at(pass.trace, mem, 0, cursor);
+            let result = cpu.execute_at(pass.trace.instrs().iter().copied(), mem, 0, cursor);
+            hint.recycle(pass.trace);
             cursor = result.finished_at;
             elapsed += result.elapsed;
             let time_s = elapsed.as_secs_f64();

@@ -7,7 +7,7 @@
 //! verifies (§3.3).
 
 use pm_node::crc::{crc16, Crc16};
-use pm_node::ni::{NiConfig, NiDirection};
+use pm_node::ni::{NiConfig, NiDirection, CRC_TRAILER_BYTES};
 use pm_sim::time::Time;
 
 /// Which node of the pair an operation acts for.
@@ -164,7 +164,7 @@ impl DuplexChannel {
     pub fn send(&mut self, from: Side, t: Time, msg: Message) -> Time {
         let dir = self.direction(from);
         let mut cursor = t;
-        let mut remaining = msg.len() as u32 + 2; // payload + CRC trailer
+        let mut remaining = msg.len() as u32 + CRC_TRAILER_BYTES;
         while remaining > 0 {
             let chunk = remaining.min(64);
             cursor = dir
@@ -194,7 +194,7 @@ impl DuplexChannel {
         };
         let msg = queue.pop_front().ok_or(RecvError::Empty)?;
         let mut cursor = t;
-        let mut remaining = msg.len() as u32 + 2;
+        let mut remaining = msg.len() as u32 + CRC_TRAILER_BYTES;
         while remaining > 0 {
             let chunk = remaining.min(64);
             cursor = dir

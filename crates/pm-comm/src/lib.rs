@@ -16,6 +16,10 @@
 //! * [`baselines`] — calibrated LogGP-style models of BIP and FM on the
 //!   Myrinet/PentiumPro cluster the paper compares against (its own
 //!   numbers are quoted from the literature, so ours are too).
+//! * [`reliable`] — the recovery tiers over the CRC: capped
+//!   stop-and-wait retransmission on one channel, and
+//!   [`reliable::ResilientNetwork`] driving retransmission, plane
+//!   failover and fault accounting over multi-hop routes.
 //!
 //! # Examples
 //!
@@ -42,4 +46,6 @@ pub use config::CommConfig;
 pub use duplex::{DuplexChannel, Message, RecvError};
 pub use earth::{EarthConfig, EarthRun};
 pub use mpi::MpiWorld;
-pub use reliable::ReliableChannel;
+pub use reliable::{
+    Delivery, DeliveryError, ReliabilityStats, ReliableChannel, ResilientNetwork, RetryPolicy,
+};

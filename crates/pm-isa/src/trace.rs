@@ -116,6 +116,13 @@ impl Trace {
         self.instrs.extend_from_slice(&other.instrs);
         self.stats.merge(&other.stats);
     }
+
+    /// Consumes the trace and returns its instruction buffer, capacity
+    /// intact — hand it to [`TraceBuilder::reusing`] to emit the next
+    /// trace without reallocating.
+    pub fn into_instrs(self) -> Vec<Instr> {
+        self.instrs
+    }
 }
 
 impl IntoIterator for Trace {
@@ -181,6 +188,21 @@ impl TraceBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a builder that emits into `buf`'s allocation. The vector
+    /// is cleared first; a builder reusing a warm buffer produces a
+    /// trace identical to one built from scratch, minus the
+    /// reallocations.
+    pub fn reusing(mut buf: Vec<Instr>) -> Self {
+        buf.clear();
+        TraceBuilder {
+            trace: Trace {
+                instrs: buf,
+                stats: TraceStats::default(),
+            },
+            next_reg: 0,
+        }
     }
 
     /// Allocates a fresh register name (wraps at 4096; the rename stage in
@@ -393,6 +415,33 @@ mod tests {
         tb.store(v, 16, 4);
         let t = tb.finish();
         assert_eq!(traffic_bytes(t.iter()), (8, 8));
+    }
+
+    #[test]
+    fn reusing_a_buffer_matches_a_fresh_build() {
+        let emit = |mut tb: TraceBuilder| {
+            let a = tb.load(0, 8);
+            let b = tb.load(64, 8);
+            let c = tb.fmadd(a, b, a);
+            tb.store(c, 128, 8);
+            tb.branch(0, true, None);
+            tb.finish()
+        };
+        let fresh = emit(TraceBuilder::new());
+        // A dirty, over-sized buffer must not leak into the new trace.
+        let mut junk = TraceBuilder::new();
+        for k in 0..100 {
+            junk.load(k * 8, 8);
+        }
+        let buf = junk.finish().into_instrs();
+        let cap = buf.capacity();
+        let reused = emit(TraceBuilder::reusing(buf));
+        assert_eq!(fresh, reused);
+        assert_eq!(fresh.stats(), reused.stats());
+        assert!(
+            reused.into_instrs().capacity() >= cap,
+            "the warm allocation must survive the rebuild"
+        );
     }
 
     #[test]

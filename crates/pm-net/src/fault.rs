@@ -1,0 +1,378 @@
+//! Deterministic fault injection for the network substrate.
+//!
+//! §3.3 builds the communication system for reliability — CRC
+//! generation/checking in the link-interface ASIC and **duplicated
+//! networks** with two link interfaces per node — but reliability only
+//! means something against concrete failures. This module supplies the
+//! failures: a seeded [`FaultPlan`] describes transient flit corruption
+//! (a probability per transmission) and permanent link-down events at
+//! scheduled instants (node link interfaces or crossbar ports). The same
+//! seed always produces the same plan, the same corruption draws, and
+//! the same recovery trace, so every degradation curve is reproducible
+//! bit-for-bit.
+//!
+//! Recovery lives one layer up, where both the network and the CRC are
+//! visible (`pm_comm::reliable::ResilientNetwork` — pm-net cannot depend
+//! on pm-node): tier 1 retransmits CRC-failed messages with capped
+//! attempts and exponential backoff, tier 2 fails over to the secondary
+//! network plane ([`crate::network::Network::open_with_failover`]),
+//! tier 3 reroutes meshes around dead links
+//! ([`crate::mesh::Mesh::fail_link`]). [`FaultStats`] counts what each
+//! tier absorbed.
+
+use crate::topology::{NodeId, XbarId};
+use pm_sim::rng::SimRng;
+use pm_sim::time::{Duration, Time};
+
+/// Seed perturbation for the link-down schedule stream ("LNKD").
+const SCHEDULE_STREAM: u64 = 0x4C4E_4B44;
+/// Seed perturbation for the transient-corruption stream ("FLIT").
+const TRANSIENT_STREAM: u64 = 0x464C_4954;
+
+/// A physical link named by the fault plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkRef {
+    /// A node's link interface (the cable into its plane-`plane`
+    /// crossbar).
+    NodeLink {
+        /// The node whose interface dies.
+        node: NodeId,
+        /// Which duplicated-network plane (0 or 1).
+        plane: u32,
+    },
+    /// A crossbar port (kills the whole dual-link attached to it, both
+    /// directions).
+    XbarPort {
+        /// The crossbar.
+        xbar: XbarId,
+        /// The port whose link dies.
+        port: u32,
+    },
+}
+
+/// A scheduled permanent link failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkDown {
+    /// When the link dies. Transfers whose worm is still on the link at
+    /// this instant lose their tail.
+    pub at: Time,
+    /// Which link dies.
+    pub link: LinkRef,
+}
+
+/// Why a [`FaultPlan`] could not be built.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FaultPlanError {
+    /// The transient corruption rate must be a probability in `[0, 1)`:
+    /// a wire that corrupts every transmission can never deliver, so a
+    /// rate of 1 (or anything non-finite or negative) is rejected
+    /// instead of silently clamped.
+    InvalidRate(f64),
+}
+
+impl core::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultPlanError::InvalidRate(r) => {
+                write!(f, "transient fault rate {r} outside [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A seeded, fully deterministic description of what goes wrong and
+/// when.
+///
+/// # Examples
+///
+/// ```
+/// use pm_net::fault::{FaultPlan, LinkRef};
+/// use pm_sim::time::Time;
+///
+/// let plan = FaultPlan::clean(42)
+///     .with_transient_rate(0.1)
+///     .unwrap()
+///     .kill_link(Time::from_ps(1_000_000), LinkRef::NodeLink { node: 0, plane: 0 });
+/// assert_eq!(plan.schedule().len(), 1);
+/// assert_eq!(plan, FaultPlan::clean(42).with_transient_rate(0.1).unwrap()
+///     .kill_link(Time::from_ps(1_000_000), LinkRef::NodeLink { node: 0, plane: 0 }));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_rate: f64,
+    link_downs: Vec<LinkDown>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all — the baseline every degraded run is
+    /// compared against.
+    pub fn clean(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            link_downs: Vec::new(),
+        }
+    }
+
+    /// Sets the per-transmission corruption probability.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::InvalidRate`] unless `0 <= rate < 1`.
+    pub fn with_transient_rate(mut self, rate: f64) -> Result<Self, FaultPlanError> {
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(FaultPlanError::InvalidRate(rate));
+        }
+        self.transient_rate = rate;
+        Ok(self)
+    }
+
+    /// Schedules a permanent failure of `link` at `at`.
+    pub fn kill_link(mut self, at: Time, link: LinkRef) -> Self {
+        self.link_downs.push(LinkDown { at, link });
+        self.link_downs.sort_by_key(|d| d.at);
+        self
+    }
+
+    /// Schedules `count` node-link failures at seed-derived nodes,
+    /// planes and instants within `[0, horizon)`. The schedule is a pure
+    /// function of the plan seed: the same seed always kills the same
+    /// links at the same times.
+    pub fn random_node_link_downs(mut self, nodes: usize, count: u32, horizon: Duration) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut rng = SimRng::seed_from(self.seed ^ SCHEDULE_STREAM);
+        for _ in 0..count {
+            let node = rng.gen_range(0, nodes as u64) as NodeId;
+            let plane = rng.gen_range(0, 2) as u32;
+            let at = Time::from_ps(rng.gen_range(0, horizon.as_ps().max(1)));
+            self.link_downs.push(LinkDown {
+                at,
+                link: LinkRef::NodeLink { node, plane },
+            });
+        }
+        self.link_downs.sort_by_key(|d| d.at);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-transmission corruption probability.
+    pub fn transient_rate(&self) -> f64 {
+        self.transient_rate
+    }
+
+    /// The link-down schedule, sorted by time.
+    pub fn schedule(&self) -> &[LinkDown] {
+        &self.link_downs
+    }
+}
+
+/// The transient half of a [`FaultPlan`], drawing per-transmission
+/// corruption decisions from the plan's seed.
+///
+/// Each call to [`TransientInjector::draw`] consumes the same amount of
+/// randomness whether or not the transmission is corrupted, so the
+/// decision stream depends only on the draw *sequence*, never on payload
+/// contents.
+#[derive(Clone, Debug)]
+pub struct TransientInjector {
+    rng: SimRng,
+    rate: f64,
+    drawn: u64,
+    corrupted: u64,
+}
+
+impl TransientInjector {
+    /// Creates the injector for a plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        TransientInjector {
+            rng: SimRng::seed_from(plan.seed() ^ TRANSIENT_STREAM),
+            rate: plan.transient_rate(),
+            drawn: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// The corruption probability per draw.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Decides whether one transmission of `payload_len` bytes is
+    /// corrupted in flight; if so, returns the `(byte, bit)` to flip
+    /// (after the sending ASIC computed the CRC, so the receiver's check
+    /// must catch it).
+    pub fn draw(&mut self, payload_len: usize) -> Option<(usize, u8)> {
+        self.drawn += 1;
+        // Burn the position randomness unconditionally: the stream stays
+        // aligned across rate sweeps with the same seed.
+        let hit = self.rng.gen_bool(self.rate);
+        let byte = self.rng.gen_range(0, payload_len.max(1) as u64) as usize;
+        let bit = self.rng.gen_range(0, 8) as u8;
+        if hit && payload_len > 0 {
+            self.corrupted += 1;
+            Some((byte, bit))
+        } else {
+            None
+        }
+    }
+
+    /// Transmissions decided so far.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Transmissions corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+/// What the recovery tiers did for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages handed to the transport.
+    pub messages: u64,
+    /// Wire transmissions (first attempts + retransmissions).
+    pub transmissions: u64,
+    /// CRC failures detected at route endpoints (tier 1 recoveries).
+    pub crc_failures: u64,
+    /// Opens served by the non-preferred plane because the preferred one
+    /// had no healthy route (tier 2 recoveries).
+    pub failovers: u64,
+    /// Opens whose plane was kept but whose route detoured around a dead
+    /// link (tier 2/3 recoveries).
+    pub reroutes: u64,
+    /// Scheduled link-down events applied so far.
+    pub link_downs: u64,
+    /// Transfers severed mid-flight by a link death (their tail never
+    /// arrived; retransmitted).
+    pub severed: u64,
+    /// Payload bytes delivered intact (goodput numerator).
+    pub delivered_bytes: u64,
+    /// Messages abandoned after the retry cap.
+    pub retries_exhausted: u64,
+}
+
+impl FaultStats {
+    /// Goodput in Mbyte/s over `elapsed`: intact payload only — headers,
+    /// CRC trailers and every retransmission are overhead.
+    pub fn goodput_mbs(&self, elapsed: Duration) -> f64 {
+        if elapsed == Duration::ZERO {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 / elapsed.as_secs_f64() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let horizon = Duration::from_ms(5);
+        let a = FaultPlan::clean(7).random_node_link_downs(128, 6, horizon);
+        let b = FaultPlan::clean(7).random_node_link_downs(128, 6, horizon);
+        assert_eq!(a, b);
+        assert_eq!(a.schedule().len(), 6);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let horizon = Duration::from_ms(5);
+        let a = FaultPlan::clean(1).random_node_link_downs(128, 6, horizon);
+        let b = FaultPlan::clean(2).random_node_link_downs(128, 6, horizon);
+        assert_ne!(a.schedule(), b.schedule());
+    }
+
+    #[test]
+    fn schedule_is_sorted_by_time() {
+        let plan = FaultPlan::clean(3)
+            .kill_link(Time::from_ps(500), LinkRef::NodeLink { node: 1, plane: 0 })
+            .kill_link(Time::from_ps(100), LinkRef::XbarPort { xbar: 0, port: 3 })
+            .random_node_link_downs(8, 4, Duration::from_us(1));
+        let times: Vec<u64> = plan.schedule().iter().map(|d| d.at.as_ps()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn out_of_range_rates_are_rejected() {
+        for bad in [-0.1, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                FaultPlan::clean(0).with_transient_rate(bad).is_err(),
+                "rate {bad} must be rejected"
+            );
+        }
+        assert!(FaultPlan::clean(0).with_transient_rate(0.0).is_ok());
+        assert!(FaultPlan::clean(0).with_transient_rate(0.999).is_ok());
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_counts() {
+        let plan = FaultPlan::clean(11).with_transient_rate(0.5).unwrap();
+        let draws = |plan: &FaultPlan| {
+            let mut inj = TransientInjector::new(plan);
+            (0..200).map(|_| inj.draw(64)).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(&plan), draws(&plan));
+        let mut inj = TransientInjector::new(&plan);
+        for _ in 0..200 {
+            inj.draw(64);
+        }
+        assert_eq!(inj.drawn(), 200);
+        assert!(
+            (60..140).contains(&(inj.corrupted() as i64)),
+            "rate 0.5 over 200 draws gave {}",
+            inj.corrupted()
+        );
+    }
+
+    #[test]
+    fn zero_rate_never_corrupts_but_still_burns_randomness() {
+        let plan = FaultPlan::clean(5).with_transient_rate(0.0).unwrap();
+        let mut inj = TransientInjector::new(&plan);
+        for _ in 0..50 {
+            assert!(inj.draw(32).is_none());
+        }
+        assert_eq!(inj.corrupted(), 0);
+        // The decision stream must not depend on the rate: a rate-0 and a
+        // rate-0.5 injector with the same seed draw the same positions.
+        let noisy = FaultPlan::clean(5).with_transient_rate(0.5).unwrap();
+        let mut a = TransientInjector::new(&plan);
+        let mut b = TransientInjector::new(&noisy);
+        for _ in 0..50 {
+            a.draw(32);
+            b.draw(32);
+        }
+        assert_eq!(a.rng, b.rng, "streams must stay aligned across rates");
+    }
+
+    #[test]
+    fn empty_payload_is_never_corrupted() {
+        let plan = FaultPlan::clean(9).with_transient_rate(0.99).unwrap();
+        let mut inj = TransientInjector::new(&plan);
+        for _ in 0..20 {
+            assert!(inj.draw(0).is_none());
+        }
+    }
+
+    #[test]
+    fn goodput_accounts_only_delivered_bytes() {
+        let stats = FaultStats {
+            delivered_bytes: 60_000_000,
+            ..FaultStats::default()
+        };
+        let g = stats.goodput_mbs(Duration::from_ms(1000));
+        assert!((g - 60.0).abs() < 1e-9, "goodput {g}");
+        assert_eq!(stats.goodput_mbs(Duration::ZERO), 0.0);
+    }
+}

@@ -14,6 +14,10 @@
 //!   permutation networks (Figure 5b).
 //! * [`network`] — connection-level simulation over a topology: open a
 //!   wormhole connection, stream bytes at link rate, close.
+//! * [`fault`] — seeded, deterministic fault plans: transient flit
+//!   corruption and scheduled permanent link deaths, driving the
+//!   duplicated-network failover in [`network`] and the rerouting in
+//!   [`mesh`].
 //!
 //! # Examples
 //!
@@ -30,6 +34,7 @@
 //! ```
 
 pub mod crossbar;
+pub mod fault;
 pub mod fifo;
 pub mod flitsim;
 pub mod mesh;
@@ -40,11 +45,14 @@ pub mod transceiver;
 pub mod wire;
 
 pub use crossbar::{Crossbar, CrossbarConfig};
+pub use fault::{FaultPlan, FaultPlanError, FaultStats, LinkDown, LinkRef, TransientInjector};
 pub use fifo::TimedFifo;
 pub use flitsim::{FlitSimResult, Packet};
 pub use mesh::{Mesh, MeshConfig, MeshError};
-pub use network::{Connection, Network, RouteBackpressure, RouteError, RouteTransferStats};
+pub use network::{
+    Connection, FailoverOutcome, Network, RouteBackpressure, RouteError, RouteTransferStats,
+};
 pub use stopwire::{RouteFlowStats, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
-pub use topology::{LinkKind, NodeId, Topology, XbarId};
+pub use topology::{LinkKey, LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};
 pub use wire::{Wire, WireConfig};

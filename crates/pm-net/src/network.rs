@@ -7,28 +7,51 @@
 //! releases the ports.
 
 use crate::crossbar::Crossbar;
+use crate::fault::LinkRef;
 use crate::stopwire::{self, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
-use crate::topology::{LinkKind, NodeId, Route, Topology};
+use crate::topology::{LinkKey, LinkKind, NodeId, Route, Topology};
 use crate::transceiver::TransceiverConfig;
 use crate::wire::WireConfig;
 use pm_sim::time::{Duration, Time};
+use std::collections::HashSet;
 
 /// Why a connection could not be opened.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RouteError {
-    /// No path exists between the nodes on the requested plane.
+    /// No path exists between the nodes on the requested plane(s), even
+    /// with every link healthy.
     NoPath,
+    /// A path exists in the topology, but every candidate crosses a dead
+    /// link — the fault plan partitioned the requested plane(s).
+    NoHealthyPath,
 }
 
 impl core::fmt::Display for RouteError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             RouteError::NoPath => f.write_str("no path between the nodes on this plane"),
+            RouteError::NoHealthyPath => {
+                f.write_str("every path between the nodes crosses a dead link")
+            }
         }
     }
 }
 
 impl std::error::Error for RouteError {}
+
+/// How [`Network::open_with_failover`] satisfied an open.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FailoverOutcome {
+    /// The plane the connection actually uses.
+    pub plane: u32,
+    /// Whether the preferred plane was abandoned for the other one
+    /// (tier-2 recovery: the duplicated network absorbed the fault,
+    /// degrading aggregate bandwidth 240→120 MB/s).
+    pub failed_over: bool,
+    /// Whether the chosen plane's naive shortest route crosses a dead
+    /// link, so the connection runs on a detour within the plane.
+    pub rerouted: bool,
+}
 
 /// A topology plus live crossbar state.
 ///
@@ -48,6 +71,10 @@ impl std::error::Error for RouteError {}
 pub struct Network {
     topology: Topology,
     crossbars: Vec<Crossbar>,
+    /// Canonical keys of permanently failed links. Routing never
+    /// crosses them; [`Network::open_with_failover`] falls back to the
+    /// other plane when they partition the preferred one.
+    dead_links: HashSet<LinkKey>,
 }
 
 /// How a backpressured transfer maps route segments onto stop wires.
@@ -127,6 +154,7 @@ impl Network {
         Network {
             topology,
             crossbars,
+            dead_links: HashSet::new(),
         }
     }
 
@@ -140,6 +168,46 @@ impl Network {
         &self.crossbars[id]
     }
 
+    /// Resolves a fault-plan [`LinkRef`] to the canonical key of the
+    /// physical link it names, or `None` if no such link exists.
+    pub fn link_key(&self, link: LinkRef) -> Option<LinkKey> {
+        match link {
+            LinkRef::NodeLink { node, plane } => self.topology.node_link_key(node, plane),
+            LinkRef::XbarPort { xbar, port } => self.topology.canonical_link_key(xbar, port),
+        }
+    }
+
+    /// Marks a link permanently dead. Routing immediately stops using
+    /// it; connections already open keep their (now fictional) claim
+    /// until closed — the caller decides whether in-flight worms were
+    /// severed. Returns the canonical key, or `None` if the reference
+    /// names no connected link.
+    pub fn fail_link(&mut self, link: LinkRef) -> Option<LinkKey> {
+        let key = self.link_key(link)?;
+        self.dead_links.insert(key);
+        Some(key)
+    }
+
+    /// Number of dead links.
+    pub fn dead_links(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// Whether the link with canonical key `key` is dead.
+    pub fn is_link_dead(&self, key: LinkKey) -> bool {
+        self.dead_links.contains(&key)
+    }
+
+    /// Whether every link on `route` is healthy.
+    pub fn route_is_healthy(&self, route: &Route) -> bool {
+        self.dead_links.is_empty()
+            || self
+                .topology
+                .route_link_keys(route)
+                .iter()
+                .all(|k| !self.dead_links.contains(k))
+    }
+
     /// Opens a wormhole connection from `src` to `dst` on `plane` at `t`.
     ///
     /// The message header carries one route byte per crossbar; each hop
@@ -150,7 +218,9 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`RouteError::NoPath`] if the nodes are not connected on
-    /// the plane.
+    /// the plane, or [`RouteError::NoHealthyPath`] if they are but every
+    /// path crosses a link a fault plan has killed
+    /// ([`Network::fail_link`]).
     pub fn open(
         &mut self,
         src: NodeId,
@@ -158,10 +228,78 @@ impl Network {
         plane: u32,
         t: Time,
     ) -> Result<Connection, RouteError> {
-        let route = self
+        match self
             .topology
-            .route(src, dst, plane)
-            .ok_or(RouteError::NoPath)?;
+            .route_avoiding(src, dst, plane, &self.dead_links)
+        {
+            Some(route) => Ok(self.establish(route, t)),
+            None if self.topology.route(src, dst, plane).is_some() => {
+                Err(RouteError::NoHealthyPath)
+            }
+            None => Err(RouteError::NoPath),
+        }
+    }
+
+    /// Opens a connection on `preferred_plane` if it still has a healthy
+    /// route, otherwise on the other plane — the duplicated network's
+    /// whole reason to exist. The returned [`FailoverOutcome`] says
+    /// which plane served the open and whether the route detoured.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NoHealthyPath`] if both planes are partitioned by
+    /// dead links; [`RouteError::NoPath`] if no path exists even on a
+    /// fault-free topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preferred_plane > 1`.
+    pub fn open_with_failover(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        preferred_plane: u32,
+        t: Time,
+    ) -> Result<(Connection, FailoverOutcome), RouteError> {
+        assert!(preferred_plane < 2, "planes are 0 and 1");
+        let mut saw_unhealthy = false;
+        for (i, plane) in [preferred_plane, 1 - preferred_plane]
+            .into_iter()
+            .enumerate()
+        {
+            match self
+                .topology
+                .route_avoiding(src, dst, plane, &self.dead_links)
+            {
+                Some(route) => {
+                    let rerouted = !self.dead_links.is_empty()
+                        && self
+                            .topology
+                            .route(src, dst, plane)
+                            .is_some_and(|naive| !self.route_is_healthy(&naive));
+                    let outcome = FailoverOutcome {
+                        plane,
+                        failed_over: i == 1,
+                        rerouted,
+                    };
+                    return Ok((self.establish(route, t), outcome));
+                }
+                None => {
+                    saw_unhealthy |= self.topology.route(src, dst, plane).is_some();
+                }
+            }
+        }
+        Err(if saw_unhealthy {
+            RouteError::NoHealthyPath
+        } else {
+            RouteError::NoPath
+        })
+    }
+
+    /// Claims every crossbar output on `route` and builds the
+    /// connection (the shared tail of [`Network::open`] and
+    /// [`Network::open_with_failover`]).
+    fn establish(&mut self, route: Route, t: Time) -> Connection {
         let byte_time = WireConfig::synchronous().byte_time;
 
         let mut head_latency = Duration::ZERO;
@@ -186,14 +324,14 @@ impl Network {
         // Pinned by `open_then_immediate_transfer_charges_propagation_once`.
         let ready_at = cursor;
 
-        Ok(Connection {
+        Connection {
             route,
             ready_at,
             head_latency,
             byte_time,
             closed: false,
             bytes: 0,
-        })
+        }
     }
 }
 
@@ -476,6 +614,85 @@ mod tests {
         let stats = conn.transfer_backpressured(&mut net, conn.ready_at(), 0, &bp);
         assert_eq!(stats.arrived, conn.ready_at() + conn.head_latency());
         assert_eq!(stats.stalled_ticks, 0);
+    }
+
+    #[test]
+    fn dead_node_link_fails_over_to_the_other_plane() {
+        let mut net = Network::new(Topology::two_nodes());
+        net.fail_link(LinkRef::NodeLink { node: 0, plane: 0 });
+        // Plain open on the dead plane is a typed error, distinct from
+        // a topology with no path at all.
+        assert_eq!(
+            net.open(0, 1, 0, Time::ZERO).unwrap_err(),
+            RouteError::NoHealthyPath
+        );
+        // Failover serves the open on plane 1.
+        let (conn, outcome) = net.open_with_failover(0, 1, 0, Time::ZERO).unwrap();
+        assert_eq!(outcome.plane, 1);
+        assert!(outcome.failed_over);
+        assert!(!outcome.rerouted);
+        assert_eq!(conn.route().plane, 1);
+    }
+
+    #[test]
+    fn healthy_preferred_plane_is_not_failed_over() {
+        let mut net = Network::new(Topology::two_nodes());
+        let (_, outcome) = net.open_with_failover(0, 1, 1, Time::ZERO).unwrap();
+        assert_eq!(
+            outcome,
+            FailoverOutcome {
+                plane: 1,
+                failed_over: false,
+                rerouted: false
+            }
+        );
+    }
+
+    #[test]
+    fn dead_middle_link_reroutes_within_the_plane() {
+        let mut net = Network::new(Topology::system256());
+        let naive = net.topology().route(8, 127, 0).unwrap();
+        let key = net
+            .topology()
+            .canonical_link_key(naive.hops[0].xbar, naive.hops[0].out_port)
+            .unwrap();
+        net.fail_link(LinkRef::XbarPort {
+            xbar: key.0,
+            port: key.1,
+        });
+        let (conn, outcome) = net.open_with_failover(8, 127, 0, Time::ZERO).unwrap();
+        assert_eq!(outcome.plane, 0, "8 middle crossbars: no failover needed");
+        assert!(!outcome.failed_over);
+        assert!(outcome.rerouted);
+        assert!(net.route_is_healthy(conn.route()));
+    }
+
+    #[test]
+    fn both_planes_dead_is_no_healthy_path() {
+        let mut net = Network::new(Topology::two_nodes());
+        net.fail_link(LinkRef::NodeLink { node: 1, plane: 0 });
+        net.fail_link(LinkRef::NodeLink { node: 1, plane: 1 });
+        assert_eq!(
+            net.open_with_failover(0, 1, 0, Time::ZERO).unwrap_err(),
+            RouteError::NoHealthyPath
+        );
+        // A genuinely disconnected pair still reports NoPath.
+        assert_eq!(
+            net.open_with_failover(0, 0, 0, Time::ZERO).unwrap_err(),
+            RouteError::NoPath
+        );
+    }
+
+    #[test]
+    fn fail_link_on_a_missing_link_is_none() {
+        let mut net = Network::new(Topology::two_nodes());
+        assert!(net
+            .fail_link(LinkRef::NodeLink { node: 99, plane: 0 })
+            .is_none());
+        assert!(net
+            .fail_link(LinkRef::XbarPort { xbar: 0, port: 15 })
+            .is_none());
+        assert_eq!(net.dead_links(), 0);
     }
 
     #[test]

@@ -15,12 +15,19 @@
 
 use crate::crossbar::CrossbarConfig;
 use crate::stopwire::StopWireConfig;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Index of a node in a topology.
 pub type NodeId = usize;
 /// Index of a crossbar in a topology.
 pub type XbarId = usize;
+
+/// Canonical identity of one physical link, as the crossbar side(s) see
+/// it. Node↔crossbar links are keyed by their single crossbar port;
+/// crossbar↔crossbar links by the lexicographically smaller of their two
+/// `(xbar, port)` ends, so both directions of a dual-link share one key
+/// and a dead cable kills traffic both ways.
+pub type LinkKey = (XbarId, u32);
 
 /// Physical flavour of a link segment.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -233,17 +240,74 @@ impl Topology {
         self.xbar_configs[xbar]
     }
 
+    /// Canonical [`LinkKey`] of the link attached to crossbar `xbar`
+    /// port `port`, or `None` if the port is unconnected.
+    pub fn canonical_link_key(&self, xbar: XbarId, port: u32) -> Option<LinkKey> {
+        let (peer, _) = self.xbar_ports.get(&(xbar, port))?;
+        Some(match *peer {
+            Endpoint::Xbar { xbar: b, port: bp } => (xbar, port).min((b, bp)),
+            Endpoint::Node { .. } => (xbar, port),
+        })
+    }
+
+    /// [`LinkKey`] of node `node`'s link interface on `plane`, or `None`
+    /// if that interface is unconnected.
+    pub fn node_link_key(&self, node: NodeId, plane: u32) -> Option<LinkKey> {
+        if node >= self.nodes || plane > 1 {
+            return None;
+        }
+        let (xbar, port, _) = self.node_links[node][plane as usize]?;
+        Some((xbar, port))
+    }
+
+    /// The canonical keys of every link segment a route crosses, in
+    /// route order (`hops.len() + 1` entries, matching
+    /// [`Route::segments`]).
+    pub fn route_link_keys(&self, route: &Route) -> Vec<LinkKey> {
+        let mut keys = Vec::with_capacity(route.segments.len());
+        let first = route.hops.first().expect("a route has at least one hop");
+        keys.push((first.xbar, first.in_port));
+        for pair in route.hops.windows(2) {
+            keys.push(
+                self.canonical_link_key(pair[0].xbar, pair[0].out_port)
+                    .expect("route segment is a connected link"),
+            );
+        }
+        let last = route.hops.last().expect("a route has at least one hop");
+        keys.push((last.xbar, last.out_port));
+        keys
+    }
+
     /// Computes the shortest route from `src` to `dst` on network plane
     /// `plane` (0 or 1), breadth-first over crossbars.
     ///
     /// Returns `None` if the nodes are not connected on that plane or if
     /// `src == dst`.
     pub fn route(&self, src: NodeId, dst: NodeId, plane: u32) -> Option<Route> {
+        self.route_avoiding(src, dst, plane, &HashSet::new())
+    }
+
+    /// Like [`Topology::route`], but treats every link whose canonical
+    /// [`LinkKey`] is in `dead` as missing: the BFS never crosses a dead
+    /// crossbar↔crossbar link, and a dead node link makes the whole
+    /// plane unusable for that endpoint. Deterministic for a fixed
+    /// topology (ports are scanned in index order), so a given dead set
+    /// always yields the same detour.
+    pub fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        plane: u32,
+        dead: &HashSet<LinkKey>,
+    ) -> Option<Route> {
         if src == dst || src >= self.nodes || dst >= self.nodes || plane > 1 {
             return None;
         }
         let (first_xbar, first_port, first_kind) = self.node_links[src][plane as usize]?;
         let (dst_xbar, dst_port, dst_kind) = self.node_links[dst][plane as usize]?;
+        if dead.contains(&(first_xbar, first_port)) || dead.contains(&(dst_xbar, dst_port)) {
+            return None;
+        }
 
         // BFS over (xbar, entry port).
         let mut prev: HashMap<XbarId, (XbarId, u32, u32, LinkKind)> = HashMap::new();
@@ -264,6 +328,9 @@ impl Topology {
                 if let Some(&(Endpoint::Xbar { xbar: nx, port: np }, kind)) =
                     self.xbar_ports.get(&(x, p))
                 {
+                    if !dead.is_empty() && dead.contains(&(x, p).min((nx, np))) {
+                        continue;
+                    }
                     if !visited[nx] {
                         visited[nx] = true;
                         prev.insert(nx, (x, p, np, kind));
@@ -485,5 +552,63 @@ mod tests {
         let t = Topology::cluster8();
         assert!(t.route(0, 1, 2).is_none());
         assert!(t.route(0, 99, 0).is_none());
+    }
+
+    #[test]
+    fn route_link_keys_cover_every_segment() {
+        let t = Topology::system256();
+        let r = t.route(8, 127, 0).unwrap();
+        let keys = t.route_link_keys(&r);
+        assert_eq!(keys.len(), r.segments.len());
+        assert_eq!(keys[0], t.node_link_key(8, 0).unwrap());
+        assert_eq!(*keys.last().unwrap(), t.node_link_key(127, 0).unwrap());
+    }
+
+    #[test]
+    fn canonical_key_is_shared_by_both_link_ends() {
+        let t = Topology::system256();
+        let r = t.route(8, 127, 0).unwrap();
+        // The first inter-crossbar segment, seen from either end.
+        let a = t
+            .canonical_link_key(r.hops[0].xbar, r.hops[0].out_port)
+            .unwrap();
+        let b = t
+            .canonical_link_key(r.hops[1].xbar, r.hops[1].in_port)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_a_dead_middle_link() {
+        let t = Topology::system256();
+        let naive = t.route(8, 127, 0).unwrap();
+        let dead: HashSet<LinkKey> = [t
+            .canonical_link_key(naive.hops[0].xbar, naive.hops[0].out_port)
+            .unwrap()]
+        .into_iter()
+        .collect();
+        let detour = t.route_avoiding(8, 127, 0, &dead).expect("8 middle xbars");
+        assert_ne!(naive, detour);
+        for key in t.route_link_keys(&detour) {
+            assert!(!dead.contains(&key), "detour crossed a dead link");
+        }
+        assert!(detour.crossbars() <= 3, "still within the 3-crossbar bound");
+    }
+
+    #[test]
+    fn route_avoiding_dead_node_link_finds_nothing() {
+        let t = Topology::two_nodes();
+        let dead: HashSet<LinkKey> = [t.node_link_key(0, 0).unwrap()].into_iter().collect();
+        assert!(t.route_avoiding(0, 1, 0, &dead).is_none());
+        // The other plane is untouched.
+        assert!(t.route_avoiding(0, 1, 1, &dead).is_some());
+    }
+
+    #[test]
+    fn empty_dead_set_matches_plain_route() {
+        let t = Topology::system256();
+        for &(a, b) in &[(0usize, 127usize), (5, 90), (63, 64)] {
+            assert_eq!(t.route(a, b, 0), t.route_avoiding(a, b, 0, &HashSet::new()));
+        }
     }
 }

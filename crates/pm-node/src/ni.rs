@@ -27,6 +27,11 @@ use pm_net::wire::{Wire, WireConfig};
 use pm_sim::time::{Duration, Time};
 use std::collections::VecDeque;
 
+/// Bytes the link-interface ASIC appends to every message for its
+/// CRC-16 check sum (§3.3). Wire-level byte counts are
+/// `payload + CRC_TRAILER_BYTES`.
+pub const CRC_TRAILER_BYTES: u32 = 2;
+
 /// Geometry and timing of one link interface.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NiConfig {

@@ -13,7 +13,7 @@
 //! model. One [`Hint::pass`] splits every current interval in two,
 //! doubling memory and quality.
 
-use pm_isa::{Trace, TraceBuilder};
+use pm_isa::{Instr, Trace, TraceBuilder};
 
 /// Data type the benchmark computes with (Figure 6a vs 6b).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -68,6 +68,11 @@ pub struct Hint {
     intervals: Vec<Interval>,
     base_addr: u64,
     passes: u32,
+    /// Retired buffers the next pass builds into instead of allocating:
+    /// the instruction vector of a [`recycle`](Hint::recycle)d pass and
+    /// the previous generation's interval storage.
+    spare_instrs: Vec<Instr>,
+    spare_intervals: Vec<Interval>,
 }
 
 impl Hint {
@@ -83,6 +88,8 @@ impl Hint {
             }],
             base_addr: 0x1000_0000,
             passes: 0,
+            spare_instrs: Vec::new(),
+            spare_intervals: Vec::new(),
         }
     }
 
@@ -159,8 +166,10 @@ impl Hint {
             self.base_addr - ARENA_STRIDE
         };
 
-        let mut tb = TraceBuilder::new();
-        let mut next = Vec::with_capacity(self.intervals.len() * 2);
+        let mut tb = TraceBuilder::reusing(std::mem::take(&mut self.spare_instrs));
+        let mut next = std::mem::take(&mut self.spare_intervals);
+        next.clear();
+        next.reserve(self.intervals.len() * 2);
         for (idx, iv) in self.intervals.iter().enumerate() {
             let old_addr = old_base + idx as u64 * rec;
             let new_addr = new_base + (idx as u64 * 2) * rec;
@@ -183,7 +192,7 @@ impl Hint {
             });
         }
         let improvements = self.intervals.len() as u64;
-        self.intervals = next;
+        self.spare_intervals = std::mem::replace(&mut self.intervals, next);
         self.base_addr = new_base;
         self.passes += 1;
         HintPass {
@@ -191,6 +200,17 @@ impl Hint {
             quality: self.quality(),
             memory_bytes: self.memory_bytes(),
             improvements,
+        }
+    }
+
+    /// Returns a consumed pass's trace buffer to the pool so the next
+    /// [`pass`](Hint::pass) emits into it instead of growing a fresh
+    /// vector. Recycling is purely an allocation concern: traces come
+    /// out byte-identical either way (pinned by the parity suite).
+    pub fn recycle(&mut self, trace: Trace) {
+        let buf = trace.into_instrs();
+        if buf.capacity() > self.spare_instrs.capacity() {
+            self.spare_instrs = buf;
         }
     }
 }
@@ -350,6 +370,25 @@ mod tests {
         let addr_of = |t: &Trace| t.instrs().iter().find_map(|i| i.mem.map(|m| m.addr.0));
         // Consecutive passes read from different arenas.
         assert_ne!(addr_of(&p1.trace), addr_of(&p2.trace));
+    }
+
+    #[test]
+    fn recycled_buffers_change_nothing() {
+        // One benchmark recycles every pass trace, the other never does;
+        // the emitted instruction streams must be identical.
+        let mut pooled = Hint::new(HintType::Double);
+        let mut fresh = Hint::new(HintType::Double);
+        for _ in 0..8 {
+            let p = pooled.pass();
+            let f = fresh.pass();
+            assert_eq!(p.trace, f.trace);
+            assert_eq!(p.quality, f.quality);
+            pooled.recycle(p.trace);
+        }
+        assert!(
+            pooled.spare_instrs.capacity() > 0,
+            "recycle must actually bank the buffer"
+        );
     }
 
     #[test]

@@ -751,3 +751,209 @@ fn page_placement_bijective() {
         assert_eq!(virt_to_phys(a * 4096 + 123), pa + 123);
     }
 }
+
+/// A fault plan's schedule and transient decisions are functions of the
+/// seed alone: same seed, same plan; different seed, different draws.
+#[test]
+fn fault_plans_are_seed_deterministic() {
+    use powermanna::net::fault::FaultPlan;
+    let mut rng = cases(17);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let nodes = rng.gen_range(2, 256) as usize;
+        let count = rng.gen_range(1, 20) as u32;
+        let horizon = Duration::from_us(rng.gen_range(1, 10_000));
+        let plan = |s: u64| {
+            FaultPlan::clean(s)
+                .with_transient_rate(0.25)
+                .unwrap()
+                .random_node_link_downs(nodes, count, horizon)
+        };
+        let a = plan(seed);
+        assert_eq!(a, plan(seed), "schedule must replay byte-identically");
+        assert_eq!(a.schedule().len(), count as usize);
+        assert!(
+            a.schedule().windows(2).all(|w| w[0].at <= w[1].at),
+            "schedule is sorted by death time"
+        );
+        let b = plan(seed ^ 0xD00D);
+        assert_ne!(a.schedule(), b.schedule(), "seed must matter");
+    }
+}
+
+/// Every single-bit flip is caught by the CRC-16: directly on random
+/// payloads, and end to end through the multi-hop resilient transport,
+/// which must deliver every payload intact regardless of fault rate.
+#[test]
+fn single_bit_flips_never_slip_past_the_crc() {
+    use powermanna::comm::duplex::Message;
+    let mut rng = cases(18);
+    for case in 0..256 {
+        let len = rng.gen_range(1, 512) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(0, 256) as u8).collect();
+        let mut msg = Message::new(payload);
+        assert!(msg.verify());
+        let byte = rng.gen_range(0, len as u64) as usize;
+        let bit = rng.gen_range(0, 8) as u8;
+        msg.corrupt_bit(byte, bit);
+        assert!(
+            !msg.verify(),
+            "case {case}: flip at byte {byte} bit {bit} slipped past crc16"
+        );
+    }
+}
+
+/// End-to-end over a three-crossbar route: with half of all
+/// transmissions corrupted, the resilient transport still delivers
+/// every payload with its exact CRC, burning retransmissions to do it.
+#[test]
+fn multi_hop_transport_survives_heavy_corruption() {
+    use powermanna::comm::duplex::Message;
+    use powermanna::comm::reliable::ResilientNetwork;
+    use powermanna::net::fault::FaultPlan;
+    use powermanna::net::network::Network;
+
+    let plan = FaultPlan::clean(0xB17F11B)
+        .with_transient_rate(0.5)
+        .unwrap();
+    let mut rn = ResilientNetwork::new(Network::new(Topology::system256()), plan);
+    let mut rng = cases(19);
+    let mut t = Time::ZERO;
+    for seq in 0..40u64 {
+        let len = rng.gen_range(16, 2048) as usize;
+        let mut payload = vec![0u8; len];
+        payload[..8].copy_from_slice(&seq.to_le_bytes());
+        // Inter-cluster pair: the route crosses three crossbars.
+        let d = rn.send(8, 127, 0, t, &payload).expect("retries succeed");
+        assert_eq!(
+            d.crc,
+            Message::new(payload).crc(),
+            "message {seq} arrived corrupted or out of order"
+        );
+        assert!(d.delivered_at > t, "time must advance");
+        t = d.delivered_at;
+    }
+    let s = rn.stats();
+    assert!(s.crc_failures > 0, "rate 0.5 must corrupt something: {s:?}");
+    assert_eq!(s.transmissions, s.messages + s.crc_failures);
+    assert_eq!(s.retries_exhausted, 0);
+}
+
+/// The ISSUE acceptance bar: a seeded plan that kills a primary-plane
+/// link mid-run completes *all* transfers via the secondary plane with
+/// zero payload loss and no reordering.
+#[test]
+fn plane_failover_loses_and_reorders_nothing() {
+    use powermanna::comm::duplex::Message;
+    use powermanna::comm::reliable::ResilientNetwork;
+    use powermanna::net::fault::{FaultPlan, LinkRef};
+    use powermanna::net::network::Network;
+
+    let plan = FaultPlan::clean(0x0FA1_10E4).kill_link(
+        Time::from_ps(400_000_000),
+        LinkRef::NodeLink { node: 0, plane: 0 },
+    );
+    let mut rn = ResilientNetwork::new(Network::new(Topology::two_nodes()), plan);
+    let mut t = Time::ZERO;
+    let mut deliveries = Vec::new();
+    for seq in 0..24u64 {
+        let mut payload = vec![0u8; 4096];
+        payload[..8].copy_from_slice(&seq.to_le_bytes());
+        let d = rn
+            .send(0, 1, 0, t, &payload)
+            .expect("secondary plane carries it");
+        assert_eq!(
+            d.crc,
+            Message::new(payload).crc(),
+            "transfer {seq} lost or swapped"
+        );
+        deliveries.push(d);
+        t = d.delivered_at;
+    }
+    let s = rn.stats();
+    assert_eq!(s.link_downs, 1);
+    assert!(s.failovers >= 1, "the death must force failovers: {s:?}");
+    assert_eq!(s.delivered_bytes, 24 * 4096, "zero payload loss");
+    assert_eq!(s.retries_exhausted, 0);
+    // Delivery order is program order: times strictly increase.
+    assert!(deliveries
+        .windows(2)
+        .all(|w| w[0].delivered_at < w[1].delivered_at));
+    // Once the link dies, every remaining transfer rides plane 1.
+    let first = deliveries
+        .iter()
+        .position(|d| d.plane == 1)
+        .expect("failover");
+    assert!(deliveries[..first].iter().all(|d| d.plane == 0));
+    assert!(deliveries[first..].iter().all(|d| d.plane == 1));
+}
+
+/// A single dead mesh link never partitions the grid: every pair still
+/// connects, detours are deterministic, and only a full cut yields
+/// `Unreachable`.
+#[test]
+fn mesh_survives_any_single_link_death() {
+    use powermanna::net::mesh::{Mesh, MeshConfig};
+    let mut rng = cases(20);
+    for _ in 0..32 {
+        // Pick a random edge of the 4x4 grid: right or down neighbour.
+        let a = rng.gen_range(0, 16) as u32;
+        let right_ok = a % 4 != 3;
+        let down_ok = a < 12;
+        let b = match (right_ok, down_ok) {
+            (true, true) => {
+                if rng.gen_bool(0.5) {
+                    a + 1
+                } else {
+                    a + 4
+                }
+            }
+            (true, false) => a + 1,
+            (false, true) => a + 4,
+            // Node 15 has only left/up edges; kill the one to node 14.
+            (false, false) => a - 1,
+        };
+        let mk = || {
+            let mut m = Mesh::new(MeshConfig::powermanna_parts(4, 4));
+            m.fail_link(a, b);
+            m
+        };
+        let mut mesh = mk();
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                if src == dst {
+                    continue;
+                }
+                let mut c = mesh
+                    .open(src, dst, Time::ZERO)
+                    .unwrap_or_else(|e| panic!("{src}->{dst} with {a}-{b} dead: {e}"));
+                let done = c.transfer(c.ready_at(), 64);
+                c.close(&mut mesh, done);
+            }
+        }
+        // Same dead link, same pairs: the detour count replays exactly.
+        let reroutes = mesh.reroutes();
+        let mut again = mk();
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                if src == dst {
+                    continue;
+                }
+                let mut c = again.open(src, dst, Time::ZERO).unwrap();
+                let done = c.transfer(c.ready_at(), 64);
+                c.close(&mut again, done);
+            }
+        }
+        assert_eq!(again.reroutes(), reroutes);
+    }
+}
+
+/// The X8 quick artifact is byte-identical run to run — the golden in
+/// ci.sh diffs cleanly because nothing in the fault layer is
+/// time-of-day or address dependent.
+#[test]
+fn x8_quick_csv_is_reproducible() {
+    use powermanna::machine::experiments::find;
+    let csv = || (find("faults").expect("registered").run)(true).to_csv();
+    assert_eq!(csv(), csv());
+}
