@@ -49,4 +49,14 @@ cargo run --release -p pm-bench --bin figures -- --quick --csv \
   faults > target/x8_quick.csv
 diff -u tests/goldens/x8_quick.csv target/x8_quick.csv
 
+echo "== observability golden (quick metrics registry) =="
+# The --metrics collection drives one deterministic scenario through
+# every substrate and dumps the registry as sorted CSV; any counter
+# drift anywhere in the machine shows up as a diff. Regenerate an
+# intentional change with:
+#   cargo run --release -p pm-bench --bin figures -- --metrics --quick \
+#     > /dev/null && cp out/metrics.csv tests/goldens/metrics_quick.csv
+cargo run --release -p pm-bench --bin figures -- --metrics --quick > /dev/null
+diff -u tests/goldens/metrics_quick.csv out/metrics.csv
+
 echo "CI OK"

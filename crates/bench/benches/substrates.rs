@@ -199,7 +199,7 @@ fn bench_mesh(r: &mut Runner) {
                 continue;
             }
             let mut conn = mesh.open(a, b2, Time::ZERO).expect("closed in order");
-            let done = conn.transfer(conn.ready_at(), 1024);
+            let done = conn.transfer(conn.ready_at(), 1024).finished;
             conn.close(&mut mesh, done);
             finish = finish.max(done);
         }

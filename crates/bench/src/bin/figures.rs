@@ -12,6 +12,9 @@
 //!                           # against committed goldens
 //!   figures --time          # time every experiment, write BENCH_figures.json
 //!                           # (with --serial: skip the parallel pass)
+//!   figures --metrics       # run the observability scenario, print the
+//!                           # rendered registry tree, write out/metrics.csv
+//!                           # (ci.sh golden-diffs the --quick CSV)
 
 use pm_core::experiments::{all_experiments, find, headline_checks};
 use pm_core::matmultrun::measure_single;
@@ -59,6 +62,20 @@ fn main() {
     }
     if args.iter().any(|a| a == "--time") {
         time_bundle(quick, serial);
+        return;
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        let reg = pm_core::observability::collect_metrics(quick);
+        print!("{}", reg.render_tree());
+        let dir = Path::new("out");
+        let path = dir.join("metrics.csv");
+        if let Err(e) =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, reg.to_csv()))
+        {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
         return;
     }
     if args.iter().any(|a| a == "--csv") {
@@ -283,7 +300,7 @@ fn time_hot_paths(quick: bool) -> Vec<HotPath> {
         };
         let t = Instant::now();
         for _ in 0..reps {
-            black_box(conn.transfer_backpressured(&mut net, start, 256 * 1024, &bp));
+            black_box(conn.transfer_backpressured(start, 256 * 1024, &bp));
         }
         t.elapsed().as_secs_f64() * 1e3
     };

@@ -473,13 +473,13 @@ fn x4_duallink() -> Figure {
     let mut s = Series::new("PowerMANNA aggregate");
     // One plane, one direction.
     let mut one = net.open(0, 1, 0, Time::ZERO).expect("plane 0");
-    let t1 = one.transfer(&mut net, one.ready_at(), bytes);
+    let t1 = one.transfer(one.ready_at(), bytes).finished;
     s.push(1.0, bytes as f64 / t1.as_secs_f64() / 1e6);
     // Both planes in parallel.
     let mut a = net.open(1, 0, 0, Time::ZERO).expect("plane 0 reverse");
     let mut b = net.open(0, 1, 1, Time::ZERO).expect("plane 1");
-    let ta = a.transfer(&mut net, a.ready_at(), bytes);
-    let tb = b.transfer(&mut net, b.ready_at(), bytes);
+    let ta = a.transfer(a.ready_at(), bytes).finished;
+    let tb = b.transfer(b.ready_at(), bytes).finished;
     let t2 = ta.max(tb);
     s.push(2.0, 2.0 * bytes as f64 / t2.as_secs_f64() / 1e6);
     fig.add_series(s);
@@ -565,7 +565,7 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
             // Connections close in program order, so no link is ever
             // left held — open cannot fail.
             let mut c = mesh.open(a, b, Time::ZERO).expect("closed in order");
-            let done = c.transfer(c.ready_at(), payload);
+            let done = c.transfer(c.ready_at(), payload).finished;
             c.close(&mut mesh, done);
             mesh_finish = mesh_finish.max(done);
         }
@@ -576,7 +576,7 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
             let t0 = c.ready_at().as_ps().div_ceil(bt);
             let done = c
                 .transfer_backpressured(c.ready_at(), payload, &stall(t0))
-                .arrived;
+                .finished;
             c.close(&mut mesh, done);
             mesh_bp_finish = mesh_bp_finish.max(done);
         }
@@ -592,7 +592,7 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
             let mut c = net
                 .open(a as usize, b as usize, 0, Time::ZERO)
                 .expect("crossbar route");
-            let done = c.transfer(&mut net, c.ready_at(), payload);
+            let done = c.transfer(c.ready_at(), payload).finished;
             c.close(&mut net, done);
             xb_finish = xb_finish.max(done);
         }
@@ -605,8 +605,8 @@ fn x6_mesh_vs_xbar(quick: bool) -> Figure {
             let t0 = c.ready_at().as_ps().div_ceil(bt);
             let start = c.ready_at();
             let done = c
-                .transfer_backpressured(&mut net, start, payload, &stall(t0))
-                .arrived;
+                .transfer_backpressured(start, payload, &stall(t0))
+                .finished;
             c.close(&mut net, done);
             xb_bp_finish = xb_bp_finish.max(done);
         }
@@ -732,7 +732,7 @@ fn x8_goodput(quick: bool, rate: f64, kill_plane0: bool) -> f64 {
         let d = rn
             .send(0, 1, plane, cursors[plane as usize], &buf)
             .expect("a healthy plane remains");
-        cursors[plane as usize] = d.delivered_at;
+        cursors[plane as usize] = d.finished;
     }
     let elapsed = cursors[0].max(cursors[1]);
     (messages * payload) as f64 / elapsed.as_secs_f64() / 1e6

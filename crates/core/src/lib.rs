@@ -15,6 +15,9 @@
 //!   scaling, route setup vs hop count, NI FIFO depth, dual links).
 //! * [`report`] — renders artefacts to CSV/markdown/ASCII and writes the
 //!   experiment bundle to a directory.
+//! * [`observability`] — drives one deterministic scenario through every
+//!   substrate and harvests its counters into a single
+//!   [`pm_sim::metrics::MetricRegistry`] tree (`figures --metrics`).
 //!
 //! # Examples
 //!
@@ -30,6 +33,7 @@
 pub mod experiments;
 pub mod hintrun;
 pub mod matmultrun;
+pub mod observability;
 pub mod report;
 pub mod systems;
 

@@ -46,6 +46,8 @@ pub use config::CommConfig;
 pub use duplex::{DuplexChannel, Message, RecvError};
 pub use earth::{EarthConfig, EarthRun};
 pub use mpi::MpiWorld;
+#[allow(deprecated)]
+pub use reliable::Delivery;
 pub use reliable::{
-    Delivery, DeliveryError, ReliabilityStats, ReliableChannel, ResilientNetwork, RetryPolicy,
+    DeliveryError, ReliabilityStats, ReliableChannel, ResilientNetwork, RetryPolicy,
 };

@@ -19,8 +19,10 @@
 
 use crate::config::CommConfig;
 use crate::duplex::{DuplexChannel, Message, RecvError, Side};
+use pm_net::error::NetError;
 use pm_net::fault::{FaultPlan, FaultPlanError, FaultStats, TransientInjector};
 use pm_net::network::{Network, RouteError};
+use pm_net::outcome::TransferOutcome;
 use pm_net::topology::NodeId;
 use pm_node::ni::{NiConfig, CRC_TRAILER_BYTES};
 use pm_sim::time::{Duration, Time};
@@ -103,6 +105,20 @@ impl core::fmt::Display for DeliveryError {
 
 impl std::error::Error for DeliveryError {}
 
+/// Delivery failures fold into the layer-spanning [`NetError`] so a
+/// caller mixing route opens, mesh traffic and reliable sends can `?`
+/// them all into one error type.
+impl From<DeliveryError> for NetError {
+    fn from(e: DeliveryError) -> Self {
+        match e {
+            DeliveryError::AttemptsExhausted { attempts } => {
+                NetError::AttemptsExhausted { attempts }
+            }
+            DeliveryError::Unreachable { src, dst } => NetError::Unreachable { src, dst },
+        }
+    }
+}
+
 /// Per-message delivery statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReliabilityStats {
@@ -179,6 +195,16 @@ impl ReliableChannel {
         self.stats
     }
 
+    /// Publishes the channel's counters under `prefix`:
+    /// `{prefix}/sent`, `{prefix}/transmissions`,
+    /// `{prefix}/crc_failures` and `{prefix}/exhausted`.
+    pub fn publish_metrics(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/sent"), self.stats.sent);
+        reg.count(&format!("{prefix}/transmissions"), self.stats.transmissions);
+        reg.count(&format!("{prefix}/crc_failures"), self.stats.crc_failures);
+        reg.count(&format!("{prefix}/exhausted"), self.stats.exhausted);
+    }
+
     /// Sends `msg` from `from` at `t` and drives the exchange until the
     /// peer holds an intact copy, retransmitting on CRC failure up to
     /// the policy's attempt cap with exponential backoff. Returns the
@@ -225,6 +251,10 @@ impl ReliableChannel {
 }
 
 /// One successful end-to-end delivery.
+#[deprecated(
+    since = "0.6.0",
+    note = "`ResilientNetwork::send` now returns `TransferOutcome`; convert with `Delivery::from` if a caller still needs this shape"
+)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Delivery {
     /// When the receiving CPU finished the software receive.
@@ -235,6 +265,21 @@ pub struct Delivery {
     pub attempts: u32,
     /// The CRC-16 the receiver verified, equal to the sender's.
     pub crc: u16,
+}
+
+#[allow(deprecated)]
+impl From<TransferOutcome> for Delivery {
+    fn from(o: TransferOutcome) -> Self {
+        Delivery {
+            delivered_at: o.finished,
+            plane: o.plane,
+            attempts: o.attempts,
+            // A reliable send always carries a verified CRC; 0 only for
+            // outcomes below the reliability layer, which never built a
+            // Delivery in the old API either.
+            crc: o.crc.unwrap_or(0),
+        }
+    }
 }
 
 /// CRC-checked, retransmitting, plane-failing-over transport over a
@@ -257,9 +302,11 @@ pub struct Delivery {
 ///
 /// let plan = FaultPlan::clean(7).with_transient_rate(0.2).unwrap();
 /// let mut rn = ResilientNetwork::new(Network::new(Topology::two_nodes()), plan);
-/// let d = rn.send(0, 1, 0, Time::ZERO, &[0xAB; 256]).unwrap();
+/// let o = rn.send(0, 1, 0, Time::ZERO, &[0xAB; 256]).unwrap();
 /// assert_eq!(rn.stats().delivered_bytes, 256);
-/// assert!(d.delivered_at > Time::ZERO);
+/// assert_eq!(o.bytes, 256);
+/// assert!(o.finished > Time::ZERO);
+/// assert!(o.crc.is_some(), "reliable sends carry the verified CRC");
 /// ```
 #[derive(Clone, Debug)]
 pub struct ResilientNetwork {
@@ -316,6 +363,15 @@ impl ResilientNetwork {
         self.stats
     }
 
+    /// Publishes the recovery ledger and the wrapped network's crossbar
+    /// counters under `prefix`: `{prefix}/faults/...`
+    /// ([`FaultStats::publish`]) and `{prefix}/net/...`
+    /// ([`Network::publish_metrics`]).
+    pub fn publish_metrics(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        self.stats.publish(reg, &format!("{prefix}/faults"));
+        self.net.publish_metrics(reg, &format!("{prefix}/net"));
+    }
+
     /// Applies every scheduled link death at or before `t`.
     pub fn advance_to(&mut self, t: Time) {
         while let Some(ev) = self.plan.schedule().get(self.next_event) {
@@ -352,6 +408,15 @@ impl ResilientNetwork {
     /// runs out. Scheduled link deaths are applied as simulated time
     /// passes; a death severing the worm mid-flight costs that attempt.
     ///
+    /// The returned [`TransferOutcome`] tells the whole story of the
+    /// message: [`finished`](TransferOutcome::finished) is the software
+    /// receive completion, [`bytes`](TransferOutcome::bytes) the intact
+    /// payload (CRC trailer and retransmitted copies excluded),
+    /// [`attempts`](TransferOutcome::attempts)/[`crc_failures`](TransferOutcome::crc_failures)/[`severed`](TransferOutcome::severed)
+    /// what the retry loop absorbed, and
+    /// [`plane`](TransferOutcome::plane)/[`failed_over`](TransferOutcome::failed_over)/[`rerouted`](TransferOutcome::rerouted)
+    /// how the successful attempt was routed.
+    ///
     /// # Errors
     ///
     /// [`DeliveryError::Unreachable`] when no healthy route exists on
@@ -364,11 +429,13 @@ impl ResilientNetwork {
         preferred_plane: u32,
         t: Time,
         payload: &[u8],
-    ) -> Result<Delivery, DeliveryError> {
+    ) -> Result<TransferOutcome, DeliveryError> {
         self.stats.messages += 1;
         let msg = Message::new(payload.to_vec());
         let wire_bytes = payload.len() as u64 + u64::from(CRC_TRAILER_BYTES);
         let mut attempt_start = t;
+        let mut msg_crc_failures = 0u32;
+        let mut msg_severed = 0u32;
         for attempt in 1..=self.policy.max_attempts {
             self.advance_to(attempt_start);
             let opened = self.net.open_with_failover(
@@ -390,7 +457,8 @@ impl ResilientNetwork {
                 self.stats.reroutes += 1;
             }
             self.stats.transmissions += 1;
-            let arrived = conn.transfer(&mut self.net, conn.ready_at(), wire_bytes);
+            let wire = conn.transfer(conn.ready_at(), wire_bytes);
+            let arrived = wire.finished;
             let keys = self.net.topology().route_link_keys(conn.route());
             let severed_at = self.first_death_hitting(&keys, arrived);
             // The close byte trails the worm (or what was left of it);
@@ -403,6 +471,7 @@ impl ResilientNetwork {
                 // times out and tries again — on the surviving plane if
                 // the death partitioned this one.
                 self.stats.severed += 1;
+                msg_severed += 1;
                 attempt_start = death.max(attempt_start) + self.policy.gap_after(attempt);
                 continue;
             }
@@ -415,16 +484,22 @@ impl ResilientNetwork {
                 // The receiving link interface discards the message; a
                 // NACK and backoff precede the retransmission.
                 self.stats.crc_failures += 1;
+                msg_crc_failures += 1;
                 attempt_start = received_at + self.policy.gap_after(attempt);
                 continue;
             }
             self.stats.delivered_bytes += payload.len() as u64;
-            return Ok(Delivery {
-                delivered_at: received_at,
-                plane: outcome.plane,
-                attempts: attempt,
-                crc: wire_msg.crc(),
-            });
+            let mut delivered = wire;
+            delivered.finished = received_at;
+            delivered.bytes = payload.len() as u64;
+            delivered.plane = outcome.plane;
+            delivered.attempts = attempt;
+            delivered.crc_failures = msg_crc_failures;
+            delivered.severed = msg_severed;
+            delivered.failed_over = outcome.failed_over;
+            delivered.rerouted = outcome.rerouted;
+            delivered.crc = Some(wire_msg.crc());
+            return Ok(delivered);
         }
         self.stats.retries_exhausted += 1;
         Err(DeliveryError::AttemptsExhausted {
@@ -568,7 +643,10 @@ mod tests {
             let d = rn.send(0, 1, 0, t, &[i; 1024]).unwrap();
             assert_eq!(d.attempts, 1);
             assert_eq!(d.plane, 0);
-            t = d.delivered_at;
+            assert_eq!(d.bytes, 1024);
+            assert_eq!(d.crc_failures, 0);
+            assert!(!d.failed_over);
+            t = d.finished;
         }
         let s = rn.stats();
         assert_eq!(s.messages, 10);
@@ -584,8 +662,13 @@ mod tests {
         let mut t = Time::ZERO;
         for i in 0..30u8 {
             let d = rn.send(0, 1, 0, t, &[i; 512]).unwrap();
-            assert_eq!(d.crc, Message::new(vec![i; 512]).crc(), "payload intact");
-            t = d.delivered_at;
+            assert_eq!(
+                d.crc,
+                Some(Message::new(vec![i; 512]).crc()),
+                "payload intact"
+            );
+            assert_eq!(u64::from(d.attempts), 1 + u64::from(d.crc_failures));
+            t = d.finished;
         }
         let s = rn.stats();
         assert!(s.crc_failures > 0, "rate 0.4 over 30 messages: {s:?}");
@@ -605,7 +688,7 @@ mod tests {
         for i in 0..12u8 {
             let d = rn.send(0, 1, 0, t, &[i; 4096]).unwrap();
             planes.push(d.plane);
-            t = d.delivered_at;
+            t = d.finished;
         }
         let s = rn.stats();
         assert_eq!(s.link_downs, 1);
@@ -630,8 +713,66 @@ mod tests {
         let s = rn.stats();
         assert_eq!(s.severed, 1, "the worm was on the dying link: {s:?}");
         assert_eq!(d.attempts, 2);
+        assert_eq!(d.severed, 1, "the outcome carries the per-message count");
         assert_eq!(d.plane, 1);
+        assert!(d.failed_over, "the retry crossed to the surviving plane");
         assert_eq!(s.delivered_bytes, 60_000);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_delivery_shim_round_trips_the_outcome() {
+        let mut rn =
+            ResilientNetwork::new(Network::new(Topology::two_nodes()), FaultPlan::clean(1));
+        let o = rn.send(0, 1, 0, Time::ZERO, &[5; 128]).unwrap();
+        let d = Delivery::from(o.clone());
+        assert_eq!(d.delivered_at, o.finished);
+        assert_eq!(d.plane, o.plane);
+        assert_eq!(d.attempts, o.attempts);
+        assert_eq!(Some(d.crc), o.crc);
+    }
+
+    #[test]
+    fn delivery_errors_question_mark_into_net_error() {
+        fn doomed() -> Result<Time, NetError> {
+            let plan = FaultPlan::clean(8)
+                .kill_link(Time::ZERO, LinkRef::NodeLink { node: 1, plane: 0 })
+                .kill_link(Time::ZERO, LinkRef::NodeLink { node: 1, plane: 1 });
+            let mut rn = ResilientNetwork::new(Network::new(Topology::two_nodes()), plan);
+            let o = rn.send(0, 1, 0, Time::from_ps(1), &[1; 64])?;
+            Ok(o.finished)
+        }
+        assert_eq!(
+            doomed().unwrap_err(),
+            NetError::Unreachable { src: 0, dst: 1 }
+        );
+    }
+
+    #[test]
+    fn resilient_network_metrics_mirror_the_ledger() {
+        let plan = FaultPlan::clean(42).with_transient_rate(0.4).unwrap();
+        let mut rn = ResilientNetwork::new(Network::new(Topology::two_nodes()), plan);
+        let mut t = Time::ZERO;
+        for i in 0..10u8 {
+            t = rn.send(0, 1, 0, t, &[i; 512]).unwrap().finished;
+        }
+        let mut reg = pm_sim::metrics::MetricRegistry::new();
+        rn.publish_metrics(&mut reg, "comm");
+        let s = rn.stats();
+        assert_eq!(reg.counter_value("comm/faults/messages"), Some(s.messages));
+        assert_eq!(
+            reg.counter_value("comm/faults/transmissions"),
+            Some(s.transmissions)
+        );
+        assert_eq!(
+            reg.counter_value("comm/faults/delivered_bytes"),
+            Some(s.delivered_bytes)
+        );
+        assert_eq!(
+            reg.counter_value("comm/net/xbar0/routes"),
+            Some(s.transmissions),
+            "every wire transmission opened exactly one route"
+        );
     }
 
     #[test]
@@ -663,8 +804,8 @@ mod tests {
             let mut log = Vec::new();
             for i in 0..20u8 {
                 let d = rn.send(0, 1, i as u32 % 2, t, &[i; 2048]).unwrap();
-                log.push((d.delivered_at, d.plane, d.attempts));
-                t = d.delivered_at;
+                log.push((d.finished, d.plane, d.attempts));
+                t = d.finished;
             }
             (log, rn.stats())
         };
@@ -679,8 +820,8 @@ mod tests {
         for i in 0..10u8 {
             // Inter-cluster: three crossbars per route.
             let d = rn.send(8, 127, 0, t, &[i; 256]).unwrap();
-            assert_eq!(d.crc, Message::new(vec![i; 256]).crc());
-            t = d.delivered_at;
+            assert_eq!(d.crc, Some(Message::new(vec![i; 256]).crc()));
+            t = d.finished;
         }
         assert!(rn.stats().crc_failures > 0);
         assert_eq!(rn.stats().delivered_bytes, 10 * 256);

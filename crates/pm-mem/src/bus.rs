@@ -100,6 +100,19 @@ pub struct BusStats {
     pub data_wait: Duration,
 }
 
+impl BusStats {
+    /// Publishes the counters under `{prefix}/addr_phases`,
+    /// `{prefix}/data_phases`, `{prefix}/addr_wait_ps` and
+    /// `{prefix}/data_wait_ps` (waits are contention totals in
+    /// picoseconds).
+    pub fn publish(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/addr_phases"), self.addr_phases);
+        reg.count(&format!("{prefix}/data_phases"), self.data_phases);
+        reg.count(&format!("{prefix}/addr_wait_ps"), self.addr_wait.as_ps());
+        reg.count(&format!("{prefix}/data_wait_ps"), self.data_wait.as_ps());
+    }
+}
+
 /// The shared bus: a sequentialised address/snoop phase plus data paths.
 ///
 /// # Examples

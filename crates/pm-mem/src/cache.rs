@@ -47,6 +47,20 @@ impl CacheStats {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Publishes the counters under `{prefix}/hits`, `{prefix}/misses`,
+    /// `{prefix}/evictions`, `{prefix}/writebacks` and
+    /// `{prefix}/snoop_invalidations`.
+    pub fn publish(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/hits"), self.hits);
+        reg.count(&format!("{prefix}/misses"), self.misses);
+        reg.count(&format!("{prefix}/evictions"), self.evictions);
+        reg.count(&format!("{prefix}/writebacks"), self.writebacks);
+        reg.count(
+            &format!("{prefix}/snoop_invalidations"),
+            self.snoop_invalidations,
+        );
+    }
 }
 
 /// A set-associative cache tag store.

@@ -455,6 +455,38 @@ impl MemorySystem {
         self.cpus[cpu].tlb.stats()
     }
 
+    /// Number of CPUs sharing this node's memory system.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Publishes every counter this system accumulated under `prefix`:
+    /// per-CPU `cpu{i}/l1`, `cpu{i}/l2` and `cpu{i}/tlb` subtrees, the
+    /// shared `bus` subtree, the coherence totals (`interventions`,
+    /// `upgrades`) and the `dram` subtree (`accesses`, `bank_conflicts`).
+    ///
+    /// Pull-based: the hot access path never touches a registry; callers
+    /// copy the counters out after a run, so skipping the call leaves the
+    /// simulation byte-identical.
+    pub fn publish_metrics(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        for cpu in 0..self.cpus.len() {
+            self.l1_stats(cpu)
+                .publish(reg, &format!("{prefix}/cpu{cpu}/l1"));
+            self.l2_stats(cpu)
+                .publish(reg, &format!("{prefix}/cpu{cpu}/l2"));
+            self.tlb_stats(cpu)
+                .publish(reg, &format!("{prefix}/cpu{cpu}/tlb"));
+        }
+        self.bus_stats().publish(reg, &format!("{prefix}/bus"));
+        reg.count(&format!("{prefix}/interventions"), self.interventions);
+        reg.count(&format!("{prefix}/upgrades"), self.upgrades);
+        reg.count(&format!("{prefix}/dram/accesses"), self.dram.accesses());
+        reg.count(
+            &format!("{prefix}/dram/bank_conflicts"),
+            self.dram.bank_conflicts(),
+        );
+    }
+
     /// Snapshot of every CPU's L2 MESI state for the line containing the
     /// *virtual* address `vaddr` (translated internally).
     pub fn coherence_snapshot(&self, vaddr: u64) -> Vec<MesiState> {
@@ -609,6 +641,45 @@ mod tests {
         let r = m.access(0, Access::read(0x1000), Time::ZERO);
         assert_eq!(r.level, ServiceLevel::Dram);
         assert!(r.latency > Duration::from_ns(100));
+    }
+
+    #[test]
+    fn published_metrics_mirror_the_accessors() {
+        let mut m = pm(2);
+        let mut t = Time::ZERO;
+        for k in 0..64u64 {
+            t = m.access((k % 2) as usize, Access::read(k * 72), t).done_at;
+        }
+        let mut reg = pm_sim::metrics::MetricRegistry::new();
+        m.publish_metrics(&mut reg, "node0/mem");
+        for cpu in 0..m.cpu_count() {
+            let l1 = m.l1_stats(cpu);
+            assert_eq!(
+                reg.counter_value(&format!("node0/mem/cpu{cpu}/l1/hits")),
+                Some(l1.hits)
+            );
+            assert_eq!(
+                reg.counter_value(&format!("node0/mem/cpu{cpu}/l1/misses")),
+                Some(l1.misses)
+            );
+            let tlb = m.tlb_stats(cpu);
+            assert_eq!(
+                reg.counter_value(&format!("node0/mem/cpu{cpu}/tlb/misses")),
+                Some(tlb.misses)
+            );
+        }
+        assert_eq!(
+            reg.counter_value("node0/mem/bus/addr_phases"),
+            Some(m.bus_stats().addr_phases)
+        );
+        assert_eq!(
+            reg.counter_value("node0/mem/dram/accesses"),
+            Some(m.dram_accesses())
+        );
+        assert_eq!(
+            reg.counter_value("node0/mem/dram/bank_conflicts"),
+            Some(m.dram_bank_conflicts())
+        );
     }
 
     #[test]

@@ -81,6 +81,12 @@ impl TlbStats {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Publishes the counters under `{prefix}/hits` and `{prefix}/misses`.
+    pub fn publish(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/hits"), self.hits);
+        reg.count(&format!("{prefix}/misses"), self.misses);
+    }
 }
 
 /// A set-associative TLB with LRU replacement.

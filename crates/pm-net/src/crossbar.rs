@@ -15,6 +15,7 @@
 //! previous holder has already recorded its close simply waits until that
 //! close — which is exactly the blocking behaviour §3 talks about.
 
+use pm_sim::metrics::MetricRegistry;
 use pm_sim::time::{Duration, Time};
 
 /// Crossbar geometry and timing.
@@ -80,6 +81,10 @@ pub struct Crossbar {
     held: Vec<bool>,
     routes: u64,
     conflicts: u64,
+    /// Per-output route commands, indexed by port.
+    port_routes: Vec<u64>,
+    /// Per-output arbitration conflicts, indexed by port.
+    port_conflicts: Vec<u64>,
 }
 
 impl Crossbar {
@@ -93,6 +98,8 @@ impl Crossbar {
         Crossbar {
             free_at: vec![Time::ZERO; config.ports as usize],
             held: vec![false; config.ports as usize],
+            port_routes: vec![0; config.ports as usize],
+            port_conflicts: vec![0; config.ports as usize],
             config,
             routes: 0,
             conflicts: 0,
@@ -122,9 +129,11 @@ impl Crossbar {
             "output port {out_port} is held by an open connection; record its close first"
         );
         self.routes += 1;
+        self.port_routes[o] += 1;
         let decode_done = t + self.config.route_time;
         if self.free_at[o] > decode_done {
             self.conflicts += 1;
+            self.port_conflicts[o] += 1;
         }
         let established = decode_done.max(self.free_at[o]);
         self.held[o] = true;
@@ -164,12 +173,43 @@ impl Crossbar {
         self.conflicts
     }
 
+    /// Route commands granted on output `port`.
+    pub fn port_routes(&self, port: u32) -> u64 {
+        self.port_routes[port as usize]
+    }
+
+    /// Arbitration conflicts on output `port`.
+    pub fn port_conflicts(&self, port: u32) -> u64 {
+        self.port_conflicts[port as usize]
+    }
+
+    /// Publishes route/conflict counters under `prefix`: the crossbar
+    /// totals plus a `{prefix}/port{p}/...` breakdown for every output
+    /// port that saw traffic (idle ports are omitted to keep the tree
+    /// readable).
+    pub fn publish_metrics(&self, reg: &mut MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/routes"), self.routes);
+        reg.count(&format!("{prefix}/conflicts"), self.conflicts);
+        for p in 0..self.config.ports {
+            let routes = self.port_routes[p as usize];
+            if routes > 0 {
+                reg.count(&format!("{prefix}/port{p}/routes"), routes);
+                reg.count(
+                    &format!("{prefix}/port{p}/conflicts"),
+                    self.port_conflicts[p as usize],
+                );
+            }
+        }
+    }
+
     /// Resets all ports to idle.
     pub fn reset(&mut self) {
         self.free_at.fill(Time::ZERO);
         self.held.fill(false);
         self.routes = 0;
         self.conflicts = 0;
+        self.port_routes.fill(0);
+        self.port_conflicts.fill(0);
     }
 }
 

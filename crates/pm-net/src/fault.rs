@@ -269,6 +269,27 @@ impl FaultStats {
         }
         self.delivered_bytes as f64 / elapsed.as_secs_f64() / 1e6
     }
+
+    /// Publishes every field as a counter under `prefix`
+    /// (`{prefix}/messages`, `{prefix}/transmissions`, …,
+    /// `{prefix}/delivered_bytes`, `{prefix}/retries_exhausted`). The
+    /// registry-side goodput reconciliation divides
+    /// `{prefix}/delivered_bytes` by the experiment's elapsed time,
+    /// which is exactly [`FaultStats::goodput_mbs`].
+    pub fn publish(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/messages"), self.messages);
+        reg.count(&format!("{prefix}/transmissions"), self.transmissions);
+        reg.count(&format!("{prefix}/crc_failures"), self.crc_failures);
+        reg.count(&format!("{prefix}/failovers"), self.failovers);
+        reg.count(&format!("{prefix}/reroutes"), self.reroutes);
+        reg.count(&format!("{prefix}/link_downs"), self.link_downs);
+        reg.count(&format!("{prefix}/severed"), self.severed);
+        reg.count(&format!("{prefix}/delivered_bytes"), self.delivered_bytes);
+        reg.count(
+            &format!("{prefix}/retries_exhausted"),
+            self.retries_exhausted,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -28,30 +28,34 @@
 //!
 //! let mut net = Network::new(Topology::cluster8());
 //! let mut conn = net.open(0, 5, 0, Time::ZERO).expect("route exists");
-//! let arrival = conn.transfer(&mut net, conn.ready_at(), 1024);
-//! conn.close(&mut net, arrival);
-//! assert!(arrival > Time::ZERO);
+//! let outcome = conn.transfer(conn.ready_at(), 1024);
+//! conn.close(&mut net, outcome.finished);
+//! assert!(outcome.finished > Time::ZERO);
 //! ```
 
 pub mod crossbar;
+pub mod error;
 pub mod fault;
 pub mod fifo;
 pub mod flitsim;
 pub mod mesh;
 pub mod network;
+pub mod outcome;
 pub mod stopwire;
 pub mod topology;
 pub mod transceiver;
 pub mod wire;
 
 pub use crossbar::{Crossbar, CrossbarConfig};
+pub use error::NetError;
 pub use fault::{FaultPlan, FaultPlanError, FaultStats, LinkDown, LinkRef, TransientInjector};
 pub use fifo::TimedFifo;
 pub use flitsim::{FlitSimResult, Packet};
 pub use mesh::{Mesh, MeshConfig, MeshError};
-pub use network::{
-    Connection, FailoverOutcome, Network, RouteBackpressure, RouteError, RouteTransferStats,
-};
+#[allow(deprecated)]
+pub use network::RouteTransferStats;
+pub use network::{Connection, FailoverOutcome, Network, RouteBackpressure, RouteError};
+pub use outcome::TransferOutcome;
 pub use stopwire::{RouteFlowStats, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
 pub use topology::{LinkKey, LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};

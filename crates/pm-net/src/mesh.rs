@@ -12,9 +12,11 @@
 //! mesh paths block each other so much more than single-stage crossbar
 //! routes do. Experiment X5 runs the same traffic through both.
 
-use crate::network::{RouteBackpressure, RouteTransferStats};
+use crate::network::RouteBackpressure;
+use crate::outcome::TransferOutcome;
 use crate::stopwire::{self, StopWireStats};
 use crate::wire::WireConfig;
+use pm_sim::metrics::MetricRegistry;
 use pm_sim::time::{Duration, Time};
 
 /// Mesh geometry and timing.
@@ -124,6 +126,7 @@ pub struct MeshConnection {
     byte_time: Duration,
     head_latency: Duration,
     closed: bool,
+    bytes: u64,
 }
 
 /// The mesh with live link state.
@@ -136,8 +139,8 @@ pub struct MeshConnection {
 ///
 /// let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
 /// let mut conn = mesh.open(0, 15, Time::ZERO).expect("links free");
-/// let done = conn.transfer(conn.ready_at(), 1024);
-/// conn.close(&mut mesh, done);
+/// let outcome = conn.transfer(conn.ready_at(), 1024);
+/// conn.close(&mut mesh, outcome.finished);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Mesh {
@@ -361,6 +364,7 @@ impl Mesh {
             head_latency,
             path,
             closed: false,
+            bytes: 0,
         })
     }
 
@@ -372,6 +376,16 @@ impl Mesh {
     /// Connections opened.
     pub fn opens(&self) -> u64 {
         self.opens
+    }
+
+    /// Publishes the mesh's counters under `prefix`:
+    /// `{prefix}/opens`, `{prefix}/conflicts`, `{prefix}/reroutes` and
+    /// `{prefix}/dead_links`.
+    pub fn publish_metrics(&self, reg: &mut MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/opens"), self.opens);
+        reg.count(&format!("{prefix}/conflicts"), self.conflicts);
+        reg.count(&format!("{prefix}/reroutes"), self.reroutes);
+        reg.count(&format!("{prefix}/dead_links"), self.dead_links() as u64);
     }
 }
 
@@ -386,14 +400,24 @@ impl MeshConnection {
         self.path.len()
     }
 
-    /// Streams `bytes` starting at `start`; returns last-byte arrival.
+    /// Streams `bytes` starting at `start`; the returned
+    /// [`TransferOutcome::finished`] is the last-byte arrival. The mesh
+    /// has a single plane, reported as plane 0.
     ///
     /// # Panics
     ///
     /// Panics if the connection is closed.
-    pub fn transfer(&self, start: Time, bytes: u64) -> Time {
+    pub fn transfer(&mut self, start: Time, bytes: u64) -> TransferOutcome {
         assert!(!self.closed, "transfer on closed connection");
-        start.max(self.ready_at) + self.byte_time * bytes + self.head_latency
+        let begin = start.max(self.ready_at);
+        self.bytes += bytes;
+        let source_released = begin + self.byte_time * bytes;
+        TransferOutcome::streamed(
+            source_released + self.head_latency,
+            source_released,
+            bytes,
+            0,
+        )
     }
 
     /// Streams `bytes` under end-to-end stop-wire flow control: every
@@ -408,33 +432,38 @@ impl MeshConnection {
     ///
     /// Panics if the connection is closed.
     pub fn transfer_backpressured(
-        &self,
+        &mut self,
         start: Time,
         bytes: u64,
         bp: &RouteBackpressure,
-    ) -> RouteTransferStats {
+    ) -> TransferOutcome {
         assert!(!self.closed, "transfer on closed connection");
         let begin = start.max(self.ready_at);
+        self.bytes += bytes;
         if bytes == 0 {
-            return RouteTransferStats {
-                arrived: begin + self.head_latency,
-                source_released: begin,
-                stop_transitions: 0,
-                stalled_ticks: 0,
-                per_segment: vec![StopWireStats::default(); self.path.len()],
-            };
+            let mut outcome = TransferOutcome::streamed(begin + self.head_latency, begin, 0, 0);
+            outcome.per_segment = vec![StopWireStats::default(); self.path.len()];
+            return outcome;
         }
         let bt = self.byte_time.as_ps();
         let start_tick = begin.as_ps().div_ceil(bt);
         let segments = vec![bp.sync_stop; self.path.len()];
         let flow = stopwire::stream_route(bp.engine, &segments, start_tick, bytes, &bp.dst_windows);
-        RouteTransferStats {
-            arrived: Time::from_ps((flow.finish_tick + 1) * bt) + self.head_latency,
-            source_released: Time::from_ps((flow.source_finish_tick + 1) * bt),
-            stop_transitions: flow.stop_transitions,
-            stalled_ticks: flow.stalled_ticks,
-            per_segment: flow.per_segment,
-        }
+        let mut outcome = TransferOutcome::streamed(
+            Time::from_ps((flow.finish_tick + 1) * bt) + self.head_latency,
+            Time::from_ps((flow.source_finish_tick + 1) * bt),
+            bytes,
+            0,
+        );
+        outcome.stop_transitions = flow.stop_transitions;
+        outcome.stalled_ticks = flow.stalled_ticks;
+        outcome.per_segment = flow.per_segment;
+        outcome
+    }
+
+    /// Total payload bytes sent over this connection.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Records the close at `t`, releasing every link on the path.
@@ -486,7 +515,7 @@ mod tests {
         // Two row-wise connections sharing the link 1->2.
         let mut m = mesh4x4();
         let mut a = m.open(0, 3, Time::ZERO).unwrap();
-        let done = a.transfer(a.ready_at(), 4096);
+        let done = a.transfer(a.ready_at(), 4096).finished;
         a.close(&mut m, done);
         let b = m.open(1, 2, Time::ZERO).unwrap();
         assert!(b.ready_at() >= done, "b must wait for a's worm to clear");
@@ -536,15 +565,16 @@ mod tests {
     #[test]
     fn backpressured_mesh_transfer_stalls_the_source() {
         let mut m = mesh4x4();
-        let conn = m.open(0, 15, Time::ZERO).unwrap();
-        let free = conn.transfer(conn.ready_at(), 4096);
+        let mut conn = m.open(0, 15, Time::ZERO).unwrap();
+        let free = conn.transfer(conn.ready_at(), 4096).finished;
         let bt = conn.byte_time.as_ps();
         let t0 = conn.ready_at().as_ps().div_ceil(bt);
         let bp = crate::network::RouteBackpressure::powermanna(vec![(t0, t0 + 3000)]);
         let stats = conn.transfer_backpressured(conn.ready_at(), 4096, &bp);
         assert_eq!(stats.per_segment.len(), 6, "one stop wire per hop");
-        assert!(stats.arrived > free);
+        assert!(stats.finished > free);
         assert!(stats.stalled_ticks > 0);
+        assert_eq!(conn.bytes(), 8192, "both transfers counted");
         for s in &stats.per_segment {
             assert_eq!(s.delivered, 4096);
             assert!(s.max_occupancy <= bp.sync_stop.headroom_needed());
@@ -574,7 +604,7 @@ mod tests {
         let mut mesh_finish = Time::ZERO;
         for &(a, b) in &pairs {
             let mut c = mesh.open(a, b, Time::ZERO).expect("closed in order");
-            let done = c.transfer(c.ready_at(), 2048);
+            let done = c.transfer(c.ready_at(), 2048).finished;
             c.close(&mut mesh, done);
             mesh_finish = mesh_finish.max(done);
         }
@@ -597,7 +627,7 @@ mod tests {
             let mut c = net
                 .open(a as usize, b as usize, 0, Time::ZERO)
                 .expect("route");
-            let done = c.transfer(&mut net, c.ready_at(), 2048);
+            let done = c.transfer(c.ready_at(), 2048).finished;
             c.close(&mut net, done);
             xb_finish = xb_finish.max(done);
         }
@@ -643,10 +673,14 @@ mod tests {
     fn healthy_mesh_never_reroutes() {
         let mut m = mesh4x4();
         let mut c = m.open(0, 15, Time::ZERO).unwrap();
-        let done = c.transfer(c.ready_at(), 128);
+        let done = c.transfer(c.ready_at(), 128).finished;
         c.close(&mut m, done);
         assert_eq!(m.reroutes(), 0);
         assert_eq!(m.dead_links(), 0);
+        let mut reg = MetricRegistry::new();
+        m.publish_metrics(&mut reg, "mesh");
+        assert_eq!(reg.counter_value("mesh/opens"), Some(1));
+        assert_eq!(reg.counter_value("mesh/reroutes"), Some(0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::crossbar::Crossbar;
 use crate::fault::LinkRef;
+use crate::outcome::TransferOutcome;
 use crate::stopwire::{self, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
 use crate::topology::{LinkKey, LinkKind, NodeId, Route, Topology};
 use crate::transceiver::TransceiverConfig;
@@ -64,8 +65,8 @@ pub struct FailoverOutcome {
 ///
 /// let mut net = Network::new(Topology::two_nodes());
 /// let mut conn = net.open(0, 1, 0, Time::ZERO).expect("path exists");
-/// let arrived = conn.transfer(&mut net, conn.ready_at(), 256);
-/// conn.close(&mut net, arrived);
+/// let outcome = conn.transfer(conn.ready_at(), 256);
+/// conn.close(&mut net, outcome.finished);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Network {
@@ -116,6 +117,10 @@ impl RouteBackpressure {
 }
 
 /// What one backpressured transfer did.
+#[deprecated(
+    since = "0.6.0",
+    note = "transfer methods now return `TransferOutcome`; convert with `RouteTransferStats::from` if a caller still needs this shape"
+)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteTransferStats {
     /// When the last payload byte arrived at the destination NI.
@@ -130,6 +135,19 @@ pub struct RouteTransferStats {
     pub stalled_ticks: u64,
     /// Per-segment stream statistics, in route order.
     pub per_segment: Vec<StopWireStats>,
+}
+
+#[allow(deprecated)]
+impl From<TransferOutcome> for RouteTransferStats {
+    fn from(o: TransferOutcome) -> Self {
+        RouteTransferStats {
+            arrived: o.finished,
+            source_released: o.source_released,
+            stop_transitions: o.stop_transitions,
+            stalled_ticks: o.stalled_ticks,
+            per_segment: o.per_segment,
+        }
+    }
 }
 
 /// An open wormhole connection.
@@ -196,6 +214,20 @@ impl Network {
     /// Whether the link with canonical key `key` is dead.
     pub fn is_link_dead(&self, key: LinkKey) -> bool {
         self.dead_links.contains(&key)
+    }
+
+    /// Publishes crossbar route/conflict counters and the dead-link
+    /// count under `prefix`: `{prefix}/dead_links` plus one
+    /// `{prefix}/xbar{i}/...` subtree per crossbar (see
+    /// [`Crossbar::publish_metrics`]).
+    pub fn publish_metrics(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(
+            &format!("{prefix}/dead_links"),
+            self.dead_links.len() as u64,
+        );
+        for (i, xb) in self.crossbars.iter().enumerate() {
+            xb.publish_metrics(reg, &format!("{prefix}/xbar{i}"));
+        }
     }
 
     /// Whether every link on `route` is healthy.
@@ -352,8 +384,9 @@ impl Connection {
     }
 
     /// Streams `bytes` of payload into the connection starting at `start`
-    /// (not before the connection is ready); returns when the last byte
-    /// arrives at the destination NI.
+    /// (not before the connection is ready); the returned
+    /// [`TransferOutcome::finished`] is when the last byte arrives at
+    /// the destination NI.
     ///
     /// Wormhole cut-through: the stream pays the head latency once and
     /// then flows at link rate.
@@ -361,11 +394,17 @@ impl Connection {
     /// # Panics
     ///
     /// Panics if the connection is closed.
-    pub fn transfer(&mut self, _net: &mut Network, start: Time, bytes: u64) -> Time {
+    pub fn transfer(&mut self, start: Time, bytes: u64) -> TransferOutcome {
         assert!(!self.closed, "transfer on closed connection");
         let begin = start.max(self.ready_at);
         self.bytes += bytes;
-        begin + self.byte_time * bytes + self.head_latency
+        let source_released = begin + self.byte_time * bytes;
+        TransferOutcome::streamed(
+            source_released + self.head_latency,
+            source_released,
+            bytes,
+            self.route.plane,
+        )
     }
 
     /// Streams `bytes` of payload under end-to-end stop-wire flow
@@ -388,36 +427,35 @@ impl Connection {
     /// condition (see [`stopwire::stream_route`]).
     pub fn transfer_backpressured(
         &mut self,
-        _net: &mut Network,
         start: Time,
         bytes: u64,
         bp: &RouteBackpressure,
-    ) -> RouteTransferStats {
+    ) -> TransferOutcome {
         assert!(!self.closed, "transfer on closed connection");
         let begin = start.max(self.ready_at);
         self.bytes += bytes;
         if bytes == 0 {
-            return RouteTransferStats {
-                arrived: begin + self.head_latency,
-                source_released: begin,
-                stop_transitions: 0,
-                stalled_ticks: 0,
-                per_segment: vec![StopWireStats::default(); self.route.segments.len()],
-            };
+            let mut outcome =
+                TransferOutcome::streamed(begin + self.head_latency, begin, 0, self.route.plane);
+            outcome.per_segment = vec![StopWireStats::default(); self.route.segments.len()];
+            return outcome;
         }
         let bt = self.byte_time.as_ps();
         let start_tick = begin.as_ps().div_ceil(bt);
         let configs = self.route.stop_configs(bp.sync_stop, bp.async_stop);
         let flow = stopwire::stream_route(bp.engine, &configs, start_tick, bytes, &bp.dst_windows);
-        RouteTransferStats {
-            // Tick k's byte is on the wire until (k + 1) * byte_time;
-            // the head latency is charged once, as in `transfer`.
-            arrived: Time::from_ps((flow.finish_tick + 1) * bt) + self.head_latency,
-            source_released: Time::from_ps((flow.source_finish_tick + 1) * bt),
-            stop_transitions: flow.stop_transitions,
-            stalled_ticks: flow.stalled_ticks,
-            per_segment: flow.per_segment,
-        }
+        // Tick k's byte is on the wire until (k + 1) * byte_time;
+        // the head latency is charged once, as in `transfer`.
+        let mut outcome = TransferOutcome::streamed(
+            Time::from_ps((flow.finish_tick + 1) * bt) + self.head_latency,
+            Time::from_ps((flow.source_finish_tick + 1) * bt),
+            bytes,
+            self.route.plane,
+        );
+        outcome.stop_transitions = flow.stop_transitions;
+        outcome.stalled_ticks = flow.stalled_ticks;
+        outcome.per_segment = flow.per_segment;
+        outcome
     }
 
     /// Sends the close command at `t`, releasing every crossbar output on
@@ -490,7 +528,7 @@ mod tests {
         let mut net = Network::new(Topology::two_nodes());
         let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
         let start = conn.ready_at();
-        let done = conn.transfer(&mut net, start, 60_000);
+        let done = conn.transfer(start, 60_000).finished;
         // 60 KB at 60 MB/s = 1 ms, plus small latencies.
         let ms = done.since(start).as_secs_f64() * 1e3;
         assert!((0.99..1.05).contains(&ms), "60 KB took {ms:.3} ms");
@@ -500,7 +538,7 @@ mod tests {
     fn close_releases_ports_for_new_connections() {
         let mut net = Network::new(Topology::two_nodes());
         let mut c1 = net.open(0, 1, 0, Time::ZERO).unwrap();
-        let done = c1.transfer(&mut net, c1.ready_at(), 100);
+        let done = c1.transfer(c1.ready_at(), 100).finished;
         c1.close(&mut net, done);
         // A second connection from the other node to the same destination
         // port must wait for the close.
@@ -516,11 +554,14 @@ mod tests {
         let mut net = Network::new(Topology::two_nodes());
         let mut a = net.open(0, 1, 0, Time::ZERO).unwrap();
         let mut b = net.open(0, 1, 1, Time::ZERO).unwrap();
-        let ta = a.transfer(&mut net, a.ready_at(), 6_000);
-        let tb = b.transfer(&mut net, b.ready_at(), 6_000);
+        let ta = a.transfer(a.ready_at(), 6_000);
+        let tb = b.transfer(b.ready_at(), 6_000);
         // Both streams complete in parallel — the duplicated network
         // doubles aggregate bandwidth (240 MB/s total claim of §1).
-        assert_eq!(ta, tb);
+        assert_eq!(ta.finished, tb.finished);
+        // The outcome carries the plane that served each stream.
+        assert_eq!(ta.plane, 0);
+        assert_eq!(tb.plane, 1);
     }
 
     #[test]
@@ -553,15 +594,20 @@ mod tests {
         // with no propagation folded in.
         assert_eq!(conn.ready_at().as_ps(), 16_667 + 200_000);
         let start = conn.ready_at();
-        let done = conn.transfer(&mut net, start, 1);
+        let o = conn.transfer(start, 1);
         let expected = start + conn.head_latency() + WireConfig::synchronous().byte_time;
-        assert_eq!(done, expected, "head latency must be charged once");
+        assert_eq!(o.finished, expected, "head latency must be charged once");
+        assert_eq!(
+            o.source_released,
+            start + WireConfig::synchronous().byte_time,
+            "the tail leaves the source one byte slot in"
+        );
         // Two back-to-back transfers pay it twice in total, not thrice:
         // each stream's head pays the pipeline fill.
-        let done2 = conn.transfer(&mut net, done, 1);
+        let done2 = conn.transfer(o.finished, 1).finished;
         assert_eq!(
             done2,
-            done + conn.head_latency() + WireConfig::synchronous().byte_time
+            o.finished + conn.head_latency() + WireConfig::synchronous().byte_time
         );
     }
 
@@ -570,13 +616,13 @@ mod tests {
         let mut net = Network::new(Topology::two_nodes());
         let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
         let start = conn.ready_at();
-        let plain = conn.transfer(&mut net, start, 4096);
+        let plain = conn.transfer(start, 4096).finished;
         let bp = RouteBackpressure::powermanna(Vec::new());
-        let stats = conn.transfer_backpressured(&mut net, start, 4096, &bp);
+        let stats = conn.transfer_backpressured(start, 4096, &bp);
         // Start quantises up to the next link tick; otherwise identical.
         let bt = WireConfig::synchronous().byte_time.as_ps();
         let slack = bt - start.as_ps() % bt;
-        assert_eq!(stats.arrived.as_ps(), plain.as_ps() + slack % bt);
+        assert_eq!(stats.finished.as_ps(), plain.as_ps() + slack % bt);
         assert_eq!(stats.stalled_ticks, 0);
         assert_eq!(stats.stop_transitions, 0);
     }
@@ -591,9 +637,9 @@ mod tests {
         let t0 = start.as_ps().div_ceil(bt);
         // Destination blocked for 6000 ticks from the transfer start.
         let bp = RouteBackpressure::powermanna(vec![(t0, t0 + 6000)]);
-        let free = conn.transfer(&mut net, start, 8192);
-        let stats = conn.transfer_backpressured(&mut net, start, 8192, &bp);
-        assert!(stats.arrived > free, "the block must delay the tail");
+        let free = conn.transfer(start, 8192).finished;
+        let stats = conn.transfer_backpressured(start, 8192, &bp);
+        assert!(stats.finished > free, "the block must delay the tail");
         assert!(stats.stalled_ticks > 0, "the source must feel it");
         assert!(stats.stop_transitions >= 1);
         assert_eq!(stats.per_segment.len(), conn.route().segments.len());
@@ -601,7 +647,7 @@ mod tests {
             assert_eq!(s.delivered, 8192, "lossless on every segment");
         }
         assert!(
-            stats.source_released < stats.arrived,
+            stats.source_released < stats.finished,
             "downstream FIFOs hold the tail after the source link frees"
         );
     }
@@ -611,9 +657,43 @@ mod tests {
         let mut net = Network::new(Topology::two_nodes());
         let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
         let bp = RouteBackpressure::powermanna(vec![(0, 1_000_000)]);
-        let stats = conn.transfer_backpressured(&mut net, conn.ready_at(), 0, &bp);
-        assert_eq!(stats.arrived, conn.ready_at() + conn.head_latency());
+        let stats = conn.transfer_backpressured(conn.ready_at(), 0, &bp);
+        assert_eq!(stats.finished, conn.ready_at() + conn.head_latency());
         assert_eq!(stats.stalled_ticks, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_stats_shim_round_trips_the_outcome() {
+        let mut net = Network::new(Topology::two_nodes());
+        let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
+        let bp = RouteBackpressure::powermanna(Vec::new());
+        let o = conn.transfer_backpressured(conn.ready_at(), 512, &bp);
+        let legacy = RouteTransferStats::from(o.clone());
+        assert_eq!(legacy.arrived, o.finished);
+        assert_eq!(legacy.source_released, o.source_released);
+        assert_eq!(legacy.stalled_ticks, o.stalled_ticks);
+        assert_eq!(legacy.per_segment, o.per_segment);
+    }
+
+    #[test]
+    fn network_metrics_expose_per_port_conflicts() {
+        let mut net = Network::new(Topology::two_nodes());
+        let mut c1 = net.open(0, 1, 0, Time::ZERO).unwrap();
+        let done = c1.transfer(c1.ready_at(), 100).finished;
+        c1.close(&mut net, done);
+        let _c2 = net.open(0, 1, 0, Time::ZERO).unwrap();
+        let mut reg = pm_sim::metrics::MetricRegistry::new();
+        net.publish_metrics(&mut reg, "net");
+        assert_eq!(reg.counter_value("net/xbar0/routes"), Some(2));
+        assert_eq!(reg.counter_value("net/xbar0/conflicts"), Some(1));
+        // Both opens targeted the same output port; its per-port counter
+        // carries the whole story.
+        let port_conflicts: u64 = (0..16)
+            .filter_map(|p| reg.counter_value(&format!("net/xbar0/port{p}/conflicts")))
+            .sum();
+        assert_eq!(port_conflicts, 1);
+        assert_eq!(reg.counter_value("net/dead_links"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! The one transfer result every transport layer returns.
+//!
+//! The stats zoo this replaces grew one struct per call path: plain
+//! transfers returned a bare [`Time`], backpressured ones a
+//! `RouteTransferStats`, reliable sends a `Delivery` — and every caller
+//! that wanted end-to-end accounting had to stitch them together by
+//! hand. [`TransferOutcome`] is the union: finish times, byte counts,
+//! per-segment stop-wire stalls, and the fault/retry story of reliable
+//! transports, in one comparable value returned by
+//! [`crate::network::Connection::transfer`]/[`transfer_backpressured`](crate::network::Connection::transfer_backpressured),
+//! [`crate::mesh::MeshConnection::transfer`]/[`transfer_backpressured`](crate::mesh::MeshConnection::transfer_backpressured)
+//! and `pm_comm::reliable::ResilientNetwork::send`.
+//!
+//! Layers fill in what they know and leave the rest at the documented
+//! defaults: a plain crossbar transfer has one attempt, no stalls and
+//! no CRC; a reliable send adds attempts/faults on top of its final
+//! successful wire transfer.
+
+use crate::stopwire::StopWireStats;
+use pm_sim::metrics::MetricRegistry;
+use pm_sim::time::Time;
+
+/// What one transfer did, across every layer that touched it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// When the last payload byte (reliable sends: the software
+    /// receive) completed at the destination.
+    pub finished: Time,
+    /// When the worm's tail left the source link: the source NI is free
+    /// from here on even though bytes may still sit in downstream
+    /// FIFOs. Equal to `finished` minus the head latency for
+    /// unobstructed streams.
+    pub source_released: Time,
+    /// Payload bytes the caller asked to move (reliable sends: payload
+    /// delivered intact, excluding the CRC trailer and retransmitted
+    /// copies).
+    pub bytes: u64,
+    /// Total *stop* assertions over every route segment.
+    pub stop_transitions: u64,
+    /// Link ticks the source sat gated while it still had bytes. The
+    /// link is byte-clocked, so each stalled tick is exactly one byte
+    /// slot the stream lost — see [`TransferOutcome::stalled_bytes`].
+    pub stalled_ticks: u64,
+    /// Per-segment stop-wire statistics in route order (empty for
+    /// transfers that ran without flow control).
+    pub per_segment: Vec<StopWireStats>,
+    /// The network plane that carried the (final) transfer.
+    pub plane: u32,
+    /// Wire transmissions used, first attempt included. Plain
+    /// transfers are always 1.
+    pub attempts: u32,
+    /// Attempts lost to CRC failures at the receiver.
+    pub crc_failures: u32,
+    /// Attempts severed mid-flight by a link death.
+    pub severed: u32,
+    /// Whether the preferred plane was abandoned for the other one.
+    pub failed_over: bool,
+    /// Whether the carrying route detoured around a dead link within
+    /// its plane.
+    pub rerouted: bool,
+    /// The verified CRC-16 of the delivered message, for transports
+    /// that check one (`None` below the reliability layer).
+    pub crc: Option<u16>,
+}
+
+impl TransferOutcome {
+    /// An unobstructed stream on `plane`: one attempt, no stalls, no
+    /// faults. The building block the richer constructors extend.
+    pub fn streamed(finished: Time, source_released: Time, bytes: u64, plane: u32) -> Self {
+        TransferOutcome {
+            finished,
+            source_released,
+            bytes,
+            stop_transitions: 0,
+            stalled_ticks: 0,
+            per_segment: Vec::new(),
+            plane,
+            attempts: 1,
+            crc_failures: 0,
+            severed: 0,
+            failed_over: false,
+            rerouted: false,
+            crc: None,
+        }
+    }
+
+    /// Stalled link ticks expressed as the byte slots they cost: the
+    /// link moves one byte per tick, so the two are numerically equal.
+    /// This is the quantity the registry reconciliation pins against
+    /// the `*/stalled_bytes` counter.
+    pub fn stalled_bytes(&self) -> u64 {
+        self.stalled_ticks
+    }
+
+    /// Publishes this outcome's counters into `reg` under `prefix`:
+    /// `{prefix}/transfers`, `{prefix}/bytes`, `{prefix}/stalled_bytes`,
+    /// `{prefix}/stop_transitions`, `{prefix}/attempts`,
+    /// `{prefix}/crc_failures`, `{prefix}/severed`,
+    /// `{prefix}/failovers`, `{prefix}/reroutes`, plus a
+    /// `{prefix}/transfer_bytes` size histogram and a
+    /// `{prefix}/segment_max_occupancy` FIFO-depth histogram.
+    pub fn publish(&self, reg: &mut MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/transfers"), 1);
+        reg.count(&format!("{prefix}/bytes"), self.bytes);
+        reg.count(&format!("{prefix}/stalled_bytes"), self.stalled_bytes());
+        reg.count(&format!("{prefix}/stop_transitions"), self.stop_transitions);
+        reg.count(&format!("{prefix}/attempts"), u64::from(self.attempts));
+        reg.count(
+            &format!("{prefix}/crc_failures"),
+            u64::from(self.crc_failures),
+        );
+        reg.count(&format!("{prefix}/severed"), u64::from(self.severed));
+        reg.count(&format!("{prefix}/failovers"), u64::from(self.failed_over));
+        reg.count(&format!("{prefix}/reroutes"), u64::from(self.rerouted));
+        let sizes = reg.histogram(&format!("{prefix}/transfer_bytes"));
+        reg.record(sizes, self.bytes);
+        if !self.per_segment.is_empty() {
+            let occ = reg.histogram(&format!("{prefix}/segment_max_occupancy"));
+            for seg in &self.per_segment {
+                reg.record(occ, u64::from(seg.max_occupancy));
+            }
+        }
+    }
+}
+
+/// The finish time is the value most callers historically consumed;
+/// `Time::from(outcome)` keeps timing-only code terse.
+impl From<TransferOutcome> for Time {
+    fn from(o: TransferOutcome) -> Time {
+        o.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streamed_outcome_has_plain_defaults() {
+        let o = TransferOutcome::streamed(Time::from_ps(900), Time::from_ps(700), 64, 1);
+        assert_eq!(o.attempts, 1);
+        assert_eq!(o.stalled_bytes(), 0);
+        assert_eq!(o.per_segment.len(), 0);
+        assert_eq!(o.plane, 1);
+        assert_eq!(o.crc, None);
+        assert!(!o.failed_over && !o.rerouted);
+        assert_eq!(Time::from(o), Time::from_ps(900));
+    }
+
+    #[test]
+    fn publish_writes_the_documented_paths() {
+        let mut reg = MetricRegistry::new();
+        let mut o = TransferOutcome::streamed(Time::from_ps(900), Time::from_ps(700), 64, 0);
+        o.stalled_ticks = 5;
+        o.stop_transitions = 2;
+        o.failed_over = true;
+        o.publish(&mut reg, "net/pair0");
+        o.publish(&mut reg, "net/pair0");
+        assert_eq!(reg.counter_value("net/pair0/transfers"), Some(2));
+        assert_eq!(reg.counter_value("net/pair0/bytes"), Some(128));
+        assert_eq!(reg.counter_value("net/pair0/stalled_bytes"), Some(10));
+        assert_eq!(reg.counter_value("net/pair0/failovers"), Some(2));
+        assert_eq!(reg.counter_value("net/pair0/reroutes"), Some(0));
+    }
+}

@@ -184,6 +184,27 @@ impl Dispatcher {
     pub fn in_flight(&self) -> usize {
         self.tags.iter().filter(|t| t.is_none()).count()
     }
+
+    /// Publishes transaction counters under `prefix`: totals (`started`,
+    /// `completed`, `tag_stalls`) plus one `{prefix}/{kind}` counter per
+    /// transaction kind that occurred.
+    pub fn publish_metrics(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/started"), self.started);
+        reg.count(&format!("{prefix}/completed"), self.finished);
+        reg.count(&format!("{prefix}/tag_stalls"), self.stalls);
+        for (kind, label) in [
+            (TransactionKind::Read, "read"),
+            (TransactionKind::ReadExclusive, "read_exclusive"),
+            (TransactionKind::Upgrade, "upgrade"),
+            (TransactionKind::WriteBack, "writeback"),
+            (TransactionKind::Intervention, "intervention"),
+        ] {
+            let n = self.count_of(kind);
+            if n > 0 {
+                reg.count(&format!("{prefix}/{label}"), n);
+            }
+        }
+    }
 }
 
 fn kind_index(kind: TransactionKind) -> usize {

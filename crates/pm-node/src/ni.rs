@@ -123,6 +123,11 @@ pub struct NiDirection {
     /// Cumulative bytes the receiving CPU has popped.
     popped: u64,
     bytes: u64,
+    /// Chunks whose wire launch waited on receive-side credit (the stop
+    /// wire held them parked in the send FIFO).
+    stop_stalls: u64,
+    /// Highest receive-FIFO occupancy seen at any chunk landing, in bytes.
+    peak_recv_level: u32,
 }
 
 impl NiDirection {
@@ -137,6 +142,8 @@ impl NiDirection {
             popped: 0,
             config,
             bytes: 0,
+            stop_stalls: 0,
+            peak_recv_level: 0,
         }
     }
 
@@ -178,7 +185,11 @@ impl NiDirection {
                 break;
             };
             let launch = ready.max(credit_at).max(self.wire.free_at());
+            if credit_at > ready {
+                self.stop_stalls += 1;
+            }
             self.credit.push(launch, bytes);
+            self.peak_recv_level = self.peak_recv_level.max(self.credit.level(launch));
             let (wire_start, arrive) = self.wire.send(launch, bytes);
             // The chunk leaves the send FIFO as its last byte serialises.
             let left_fifo = wire_start + self.config.wire.byte_time * u64::from(bytes);
@@ -230,6 +241,29 @@ impl NiDirection {
         self.bytes
     }
 
+    /// Chunks whose wire launch was delayed by the stop wire (no
+    /// receive-side credit when they were ready).
+    pub fn stop_stalls(&self) -> u64 {
+        self.stop_stalls
+    }
+
+    /// Highest receive-FIFO occupancy observed, in bytes.
+    pub fn peak_recv_level(&self) -> u32 {
+        self.peak_recv_level
+    }
+
+    /// Publishes this direction's counters under `prefix`: `bytes`,
+    /// `stop_stalls` and `peak_recv_fifo_bytes` (the high-water mark of
+    /// receive-FIFO occupancy).
+    pub fn publish_metrics(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        reg.count(&format!("{prefix}/bytes"), self.bytes);
+        reg.count(&format!("{prefix}/stop_stalls"), self.stop_stalls);
+        reg.count(
+            &format!("{prefix}/peak_recv_fifo_bytes"),
+            u64::from(self.peak_recv_level),
+        );
+    }
+
     /// Resets FIFOs and the wire.
     pub fn reset(&mut self) {
         self.send_fifo.reset();
@@ -239,6 +273,8 @@ impl NiDirection {
         self.arrivals.clear();
         self.popped = 0;
         self.bytes = 0;
+        self.stop_stalls = 0;
+        self.peak_recv_level = 0;
     }
 }
 
@@ -360,6 +396,37 @@ mod tests {
         dir.reset();
         assert_eq!(dir.bytes(), 0);
         assert!(dir.data_available(Time::ZERO, 1).is_none());
+    }
+
+    #[test]
+    fn stop_wire_stalls_and_fifo_high_water_are_observable() {
+        // Fill both FIFOs with no receiver: launches beyond the credit
+        // window stall, and the receive FIFO hits its capacity.
+        let mut dir = NiDirection::new(NiConfig::powermanna());
+        let mut t = Time::ZERO;
+        while let Some(done) = dir.push(t, 64) {
+            t = done;
+        }
+        assert_eq!(dir.stop_stalls(), 0, "nothing launched late yet");
+        assert_eq!(dir.peak_recv_level(), 256, "recv credit window is full");
+        // Draining releases parked chunks whose launch waited on credit.
+        let mut rt = t;
+        while let Some(done) = dir.pop(rt, 64) {
+            rt = done;
+        }
+        assert!(dir.stop_stalls() > 0, "parked chunks launched late");
+
+        let mut reg = pm_sim::metrics::MetricRegistry::new();
+        dir.publish_metrics(&mut reg, "node0/ni/tx");
+        assert_eq!(reg.counter_value("node0/ni/tx/bytes"), Some(dir.bytes()));
+        assert_eq!(
+            reg.counter_value("node0/ni/tx/stop_stalls"),
+            Some(dir.stop_stalls())
+        );
+        assert_eq!(
+            reg.counter_value("node0/ni/tx/peak_recv_fifo_bytes"),
+            Some(256)
+        );
     }
 
     #[test]

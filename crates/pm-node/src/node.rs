@@ -151,6 +151,12 @@ impl Node {
     pub fn reset(&mut self) {
         self.mem.reset();
     }
+
+    /// Publishes the node's memory-system counters under `{prefix}/mem`
+    /// (see [`MemorySystem::publish_metrics`]).
+    pub fn publish_metrics(&self, reg: &mut pm_sim::metrics::MetricRegistry, prefix: &str) {
+        self.mem.publish_metrics(reg, &format!("{prefix}/mem"));
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,9 @@
 //!   is reproducible bit-for-bit.
 //! * [`stats`] — counters, histograms and series plus CSV/markdown/ASCII
 //!   rendering for the experiment harness.
+//! * [`metrics`] — the hierarchical [`metrics::MetricRegistry`] every
+//!   model layer publishes its counters into, keyed by component path
+//!   (`node0/mem/cpu0/l1/hits`), rendered as a tree or diff-stable CSV.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 //! ```
 
 pub mod event;
+pub mod metrics;
 pub mod par;
 pub mod resource;
 pub mod rng;
@@ -40,6 +44,7 @@ pub mod time;
 pub mod tracelog;
 
 pub use event::EventQueue;
+pub use metrics::{MetricId, MetricRegistry};
 pub use par::par_sweep;
 pub use resource::{PipelinedResource, Resource};
 pub use rng::SimRng;

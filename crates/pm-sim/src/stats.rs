@@ -204,6 +204,11 @@ impl Histogram {
         self.total
     }
 
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of recorded values (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {

@@ -44,9 +44,9 @@ fn main() {
         let d = rn.send(0, 1, 0, t, &payload).expect("a plane survives");
         println!(
             "  msg {seq:2}: delivered at {} on plane {} after {} attempt(s)",
-            d.delivered_at, d.plane, d.attempts
+            d.finished, d.plane, d.attempts
         );
-        t = d.delivered_at;
+        t = d.finished;
     }
     let s = rn.stats();
     println!(
@@ -64,7 +64,7 @@ fn main() {
     let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
     mesh.fail_link(1, 2);
     let mut c = mesh.open(0, 3, Time::ZERO).expect("detour exists");
-    let done = c.transfer(c.ready_at(), 4096);
+    let done = c.transfer(c.ready_at(), 4096).finished;
     c.close(&mut mesh, done);
     println!(
         "mesh: link 1-2 dead, 0 -> 3 detoured ({} reroute) and finished at {}",

@@ -64,7 +64,7 @@ fn main() {
     // held output port (the crossbar's blocking behaviour).
     let mut net2 = Network::new(Topology::two_nodes());
     let mut first = net2.open(0, 1, 0, Time::ZERO).expect("first");
-    let done = first.transfer(&mut net2, first.ready_at(), 6000);
+    let done = first.transfer(first.ready_at(), 6000).finished;
     first.close(&mut net2, done);
     let second = net2.open(0, 1, 0, Time::ZERO).expect("second");
     println!(

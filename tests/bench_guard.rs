@@ -1,0 +1,65 @@
+//! Wall-clock guard for the observability layer's zero-cost contract.
+//!
+//! The metrics redesign made every transfer return a [`TransferOutcome`]
+//! instead of a bare `Time`. The risk is hidden hot-path cost: an
+//! allocation smuggled into `streamed()`, or counter bookkeeping that
+//! scales with bytes instead of transfers. This test times the hot
+//! paths with the in-repo `tinybench` harness and fails on
+//! order-of-magnitude regressions — bounds are deliberately loose
+//! (10-50x headroom on a quiet host) so CI noise cannot trip them,
+//! while a stray per-byte loop or per-transfer heap allocation still
+//! will.
+//!
+//! Budget per bench comes from `PM_BENCH_BUDGET_MS` (default 200 ms);
+//! the parity suite covers *correctness* of the disabled path, this
+//! suite covers its *speed*.
+//!
+//! [`TransferOutcome`]: powermanna::net::outcome::TransferOutcome
+
+use pm_bench::tinybench::Runner;
+use powermanna::net::network::Network;
+use powermanna::net::topology::Topology;
+use powermanna::sim::metrics::MetricRegistry;
+use powermanna::sim::time::Time;
+use std::hint::black_box;
+use std::time::Duration;
+
+#[test]
+fn transfer_outcome_hot_path_stays_cheap() {
+    let mut net = Network::new(Topology::two_nodes());
+    let mut conn = net.open(0, 1, 0, Time::ZERO).expect("route");
+    let start = conn.ready_at();
+
+    let mut r = Runner::new();
+    Runner::header("observability overhead guard");
+
+    // The metrics-disabled hot path: a plain transfer is closed-form
+    // arithmetic plus a Vec::new() (which does not allocate). Budget:
+    // 2 us/iter, ~40x the measured cost on a 2020s x86 core.
+    r.bench("plain_transfer", || {
+        black_box(conn.transfer(black_box(start), black_box(4096)))
+    });
+
+    // The metrics-enabled path: same transfer plus one registry
+    // publication. Publication formats ~11 paths and walks a BTreeMap,
+    // so it is orders of magnitude above the transfer itself — the
+    // bound only has to keep it out of per-byte territory.
+    let mut reg = MetricRegistry::new();
+    r.bench("transfer_plus_publish", || {
+        let o = conn.transfer(black_box(start), black_box(4096));
+        o.publish(&mut reg, "net");
+        black_box(o)
+    });
+
+    let samples = r.samples();
+    let plain = samples[0].mean;
+    let published = samples[1].mean;
+    assert!(
+        plain < Duration::from_micros(2),
+        "plain transfer costs {plain:?}/iter — the disabled path grew a hot-path allocation?"
+    );
+    assert!(
+        published < Duration::from_micros(100),
+        "transfer+publish costs {published:?}/iter — publication stopped being per-transfer?"
+    );
+}

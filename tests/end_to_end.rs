@@ -33,7 +33,7 @@ fn message_travels_cluster_with_crc() {
     // through the NI model, verify the payload.
     let mut net = Network::new(Topology::cluster8());
     let mut conn = net.open(2, 6, 0, Time::ZERO).expect("cluster route");
-    let done = conn.transfer(&mut net, conn.ready_at(), 4096);
+    let done = conn.transfer(conn.ready_at(), 4096).finished;
     conn.close(&mut net, done);
     assert!(done > conn.ready_at());
 
@@ -58,8 +58,8 @@ fn both_planes_carry_traffic_simultaneously() {
     let mut net = Network::new(Topology::cluster8());
     let mut p0 = net.open(0, 4, 0, Time::ZERO).expect("plane 0");
     let mut p1 = net.open(0, 4, 1, Time::ZERO).expect("plane 1");
-    let t0 = p0.transfer(&mut net, p0.ready_at(), 60_000);
-    let t1 = p1.transfer(&mut net, p1.ready_at(), 60_000);
+    let t0 = p0.transfer(p0.ready_at(), 60_000).finished;
+    let t1 = p1.transfer(p1.ready_at(), 60_000).finished;
     // 60 KB at 60 MB/s per plane: each takes ~1 ms, in parallel.
     assert_eq!(t0, t1);
     p0.close(&mut net, t0);

@@ -1,0 +1,165 @@
+//! Registry/outcome reconciliation: the hierarchical metrics layer is
+//! only trustworthy if its counters are *exactly* a recount of what the
+//! per-transfer [`TransferOutcome`]s already said. These tests drive
+//! seeded random schedules through the network, mesh and reliable
+//! transport, publish every outcome, and pin the registry totals to
+//! independent sums — including the X8 goodput, which must come out
+//! bit-identical to the [`FaultStats`] ledger's own computation.
+//!
+//! [`TransferOutcome`]: powermanna::net::outcome::TransferOutcome
+//! [`FaultStats`]: powermanna::net::fault::FaultStats
+
+use powermanna::comm::reliable::ResilientNetwork;
+use powermanna::net::fault::{FaultPlan, LinkRef};
+use powermanna::net::mesh::{Mesh, MeshConfig};
+use powermanna::net::network::{Network, RouteBackpressure};
+use powermanna::net::stopwire::random_windows;
+use powermanna::net::topology::Topology;
+use powermanna::net::wire::WireConfig;
+use powermanna::sim::metrics::MetricRegistry;
+use powermanna::sim::rng::SimRng;
+use powermanna::sim::time::Time;
+
+fn cases(tag: u64) -> SimRng {
+    SimRng::seed_from(0x0B5E_7261_B111_7400 ^ tag)
+}
+
+/// Per-transfer stall accounting reconciles with the registry: across
+/// seeded backpressured schedules on the crossbar network, the sum of
+/// each outcome's `stalled_bytes()` equals the `net/stalled_bytes`
+/// counter, and likewise for bytes, stop transitions and transfer
+/// counts.
+#[test]
+fn network_stall_bytes_reconcile_with_outcomes() {
+    let mut rng = cases(1);
+    for _ in 0..6 {
+        let mut net = Network::new(Topology::cluster8());
+        let mut reg = MetricRegistry::new();
+        let bt = WireConfig::synchronous().byte_time.as_ps();
+        let (mut transfers, mut bytes, mut stalled, mut transitions) = (0u64, 0u64, 0u64, 0u64);
+        let mut t = Time::ZERO;
+        for _ in 0..rng.gen_range(2, 6) {
+            let src = rng.gen_range(0, 4) as usize;
+            let dst = 4 + rng.gen_range(0, 4) as usize;
+            let plane = rng.gen_range(0, 2) as u32;
+            let payload = 512 + rng.gen_range(0, 8192);
+            let mut conn = net.open(src, dst, plane, t).expect("healthy cluster");
+            let start = conn.ready_at();
+            let t0 = start.as_ps().div_ceil(bt);
+            let count = rng.gen_range(1, 12) as u32;
+            let windows: Vec<(u64, u64)> = random_windows(&mut rng, 40_000, count, 4_000)
+                .into_iter()
+                .map(|(s, e)| (t0 + s, t0 + e))
+                .collect();
+            let bp = RouteBackpressure::powermanna(windows);
+            let o = conn.transfer_backpressured(start, payload, &bp);
+            conn.close(&mut net, o.finished);
+            t = o.finished;
+            transfers += 1;
+            bytes += o.bytes;
+            stalled += o.stalled_bytes();
+            transitions += o.stop_transitions;
+            o.publish(&mut reg, "net");
+        }
+        assert_eq!(reg.counter_value("net/transfers"), Some(transfers));
+        assert_eq!(reg.counter_value("net/bytes"), Some(bytes));
+        assert_eq!(reg.counter_value("net/stalled_bytes"), Some(stalled));
+        assert_eq!(reg.counter_value("net/stop_transitions"), Some(transitions));
+    }
+}
+
+/// The same reconciliation holds on the §6 mesh, rerouting included:
+/// `mesh/reroutes` equals the number of outcomes that reported a
+/// detour, and the byte/stall sums match.
+#[test]
+fn mesh_outcomes_reconcile_with_registry() {
+    let mut rng = cases(2);
+    for _ in 0..6 {
+        let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
+        // Kill one interior link so some routes detour.
+        mesh.fail_link(1, 2);
+        let mut reg = MetricRegistry::new();
+        let (mut bytes, mut stalled, mut reroutes) = (0u64, 0u64, 0u64);
+        let mut t = Time::ZERO;
+        for _ in 0..rng.gen_range(3, 8) {
+            let src = rng.gen_range(0, 8) as u32;
+            let dst = rng.gen_range(8, 16) as u32;
+            let Ok(mut conn) = mesh.open(src, dst, t) else {
+                continue;
+            };
+            let payload = 256 + rng.gen_range(0, 4096);
+            let o = conn.transfer(conn.ready_at(), payload);
+            conn.close(&mut mesh, o.finished);
+            t = o.finished;
+            bytes += o.bytes;
+            stalled += o.stalled_bytes();
+            reroutes += u64::from(o.rerouted);
+            o.publish(&mut reg, "mesh");
+        }
+        assert_eq!(reg.counter_value("mesh/bytes"), Some(bytes));
+        assert_eq!(reg.counter_value("mesh/stalled_bytes"), Some(stalled));
+        assert_eq!(reg.counter_value("mesh/reroutes"), Some(reroutes));
+    }
+}
+
+/// The X8 scenario's registry-derived goodput is *bit-identical* to the
+/// [`FaultStats::goodput_mbs`] ledger: both divide the same
+/// `delivered_bytes` by the same elapsed time, so the two `f64`s must
+/// compare equal — not merely close.
+///
+/// [`FaultStats::goodput_mbs`]: powermanna::net::fault::FaultStats::goodput_mbs
+#[test]
+fn x8_registry_goodput_matches_fault_ledger_exactly() {
+    let mut rng = cases(3);
+    for round in 0..4 {
+        let rate = [0.0, 0.1, 0.25, 0.4][round];
+        let plan = FaultPlan::clean(rng.next_u64())
+            .with_transient_rate(rate)
+            .expect("rate in range")
+            .kill_link(
+                Time::from_ps(150_000_000),
+                LinkRef::NodeLink { node: 0, plane: 0 },
+            );
+        let mut rn = ResilientNetwork::new(Network::new(Topology::two_nodes()), plan);
+        let mut reg = MetricRegistry::new();
+        let mut buf = vec![0u8; 4096];
+        let mut cursors = [Time::ZERO; 2];
+        let mut outcome_bytes = 0u64;
+        for i in 0..16 {
+            buf[0] = i as u8;
+            let plane = (i % 2) as u32;
+            let d = rn
+                .send(0, 1, plane, cursors[plane as usize], &buf)
+                .expect("a healthy plane remains");
+            cursors[plane as usize] = d.finished;
+            outcome_bytes += d.bytes;
+            d.publish(&mut reg, "comm");
+        }
+        rn.publish_metrics(&mut reg, "comm");
+        let elapsed = cursors[0].max(cursors[1]).since(Time::ZERO);
+
+        // Outcome-level and ledger-level byte counts agree...
+        let delivered = reg
+            .counter_value("comm/faults/delivered_bytes")
+            .expect("ledger published");
+        assert_eq!(delivered, rn.stats().delivered_bytes);
+        assert_eq!(reg.counter_value("comm/bytes"), Some(outcome_bytes));
+        assert_eq!(outcome_bytes, delivered);
+
+        // ...so the registry goodput is the ledger goodput, exactly.
+        let registry_goodput = delivered as f64 / elapsed.as_secs_f64() / 1e6;
+        let ledger_goodput = rn.stats().goodput_mbs(elapsed);
+        assert_eq!(
+            registry_goodput.to_bits(),
+            ledger_goodput.to_bits(),
+            "rate {rate}: registry {registry_goodput} vs ledger {ledger_goodput}"
+        );
+
+        // Retry accounting reconciles too: attempts summed over outcomes
+        // equal the ledger's wire transmissions.
+        assert_eq!(
+            reg.counter_value("comm/attempts"),
+            reg.counter_value("comm/faults/transmissions"),
+        );
+    }
+}

@@ -171,7 +171,7 @@ fn duplicated_network_bandwidth_claim() {
     ];
     let mut end = Time::ZERO;
     for c in &mut conns {
-        let t = c.transfer(&mut net, c.ready_at(), bytes);
+        let t = c.transfer(c.ready_at(), bytes).finished;
         end = end.max(t);
     }
     let aggregate = 4.0 * bytes as f64 / end.as_secs_f64() / 1e6;

@@ -411,9 +411,9 @@ fn backpressured_network_single_crossbar_matches_per_flit_reference() {
                 engine,
                 ..RouteBackpressure::powermanna(windows.clone())
             };
-            let stats = conn.transfer_backpressured(&mut net, start, bytes, &bp);
+            let stats = conn.transfer_backpressured(start, bytes, &bp);
             assert_eq!(
-                stats.arrived,
+                stats.finished,
                 Time::from_ps((reference.finish_tick + 1) * bt) + conn.head_latency(),
                 "case {case} ({engine:?}): arrival diverges from the reference"
             );
@@ -445,22 +445,22 @@ fn backpressured_network_multi_hop_engines_agree() {
         let t0 = conn.ready_at().as_ps().div_ceil(bt);
         let windows = random_windows(&mut rng, t0 + bytes * 3 + 10, 12, 2000);
 
-        let run = |engine, net: &mut Network, conn: &mut powermanna::net::network::Connection| {
+        let run = |engine, conn: &mut powermanna::net::network::Connection| {
             let bp = RouteBackpressure {
                 engine,
                 ..RouteBackpressure::powermanna(windows.clone())
             };
             let start = conn.ready_at();
-            conn.transfer_backpressured(net, start, bytes, &bp)
+            conn.transfer_backpressured(start, bytes, &bp)
         };
-        let a = run(StopWireEngine::PerFlit, &mut net, &mut conn);
-        let b = run(StopWireEngine::Batched, &mut net, &mut conn);
+        let a = run(StopWireEngine::PerFlit, &mut conn);
+        let b = run(StopWireEngine::Batched, &mut conn);
         assert_eq!(a, b, "case {case}: engines diverge on {src}->{dst}");
         assert_eq!(a.per_segment.len(), conn.route().segments.len());
         for s in &a.per_segment {
             assert_eq!(s.delivered, bytes, "case {case}: segment lost bytes");
         }
-        let done = a.arrived;
+        let done = a.finished;
         conn.close(&mut net, done);
     }
 }
@@ -523,4 +523,73 @@ fn hint_run_is_stable_across_repeated_runs() {
     let first = run_hint(&sys, HintType::Double, 1 << 15);
     let second = run_hint(&sys, HintType::Double, 1 << 15);
     assert_eq!(first, second);
+}
+
+// --- Metrics: publication is observation-only ---------------------------
+
+/// The observability layer's zero-cost contract: publishing to a
+/// [`MetricRegistry`](powermanna::sim::metrics::MetricRegistry) copies
+/// counters out *after* the fact, so a run that publishes mid-schedule
+/// and a run that never constructs a registry produce byte-identical
+/// [`TransferOutcome`](powermanna::net::outcome::TransferOutcome)s.
+#[test]
+fn metrics_publication_never_perturbs_outcomes() {
+    use powermanna::net::wire::WireConfig;
+    use powermanna::sim::metrics::MetricRegistry;
+
+    let run = |publish: bool| {
+        let mut rng = cases(9);
+        let mut net = Network::new(Topology::cluster8());
+        let mut reg = publish.then(MetricRegistry::new);
+        let bt = WireConfig::synchronous().byte_time.as_ps();
+        let mut outcomes = Vec::new();
+        let mut t = Time::ZERO;
+        for _ in 0..8 {
+            let src = rng.gen_range(0, 4) as usize;
+            let dst = 4 + rng.gen_range(0, 4) as usize;
+            let plane = rng.gen_range(0, 2) as u32;
+            let payload = 256 + rng.gen_range(0, 6000);
+            let mut conn = net.open(src, dst, plane, t).expect("healthy cluster");
+            let start = conn.ready_at();
+            let t0 = start.as_ps().div_ceil(bt);
+            let windows: Vec<(u64, u64)> = random_windows(&mut rng, 30_000, 6, 3_000)
+                .into_iter()
+                .map(|(s, e)| (t0 + s, t0 + e))
+                .collect();
+            let bp = RouteBackpressure::powermanna(windows);
+            let o = conn.transfer_backpressured(start, payload, &bp);
+            conn.close(&mut net, o.finished);
+            t = o.finished;
+            // Publishing *between* transfers is the adversarial case: a
+            // registry write that touched model state would skew the
+            // remaining schedule.
+            if let Some(reg) = reg.as_mut() {
+                o.publish(reg, "net");
+                net.publish_metrics(reg, "net");
+            }
+            outcomes.push(o);
+        }
+        outcomes
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "publishing metrics changed simulated outcomes"
+    );
+}
+
+/// A full observability collection pass leaves no global state behind:
+/// the quick X5 artifact is byte-identical whether or not
+/// [`collect_metrics`](powermanna::machine::observability::collect_metrics)
+/// ran in the same process first.
+#[test]
+fn metrics_collection_leaves_experiments_untouched() {
+    use powermanna::machine::experiments::find;
+    use powermanna::machine::observability::collect_metrics;
+
+    let exp = find("blocking").expect("X5 exists");
+    let baseline = (exp.run)(true).to_csv();
+    let _ = collect_metrics(true);
+    let after = (exp.run)(true).to_csv();
+    assert_eq!(baseline, after, "collection pass perturbed an experiment");
 }

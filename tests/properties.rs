@@ -827,11 +827,11 @@ fn multi_hop_transport_survives_heavy_corruption() {
         let d = rn.send(8, 127, 0, t, &payload).expect("retries succeed");
         assert_eq!(
             d.crc,
-            Message::new(payload).crc(),
+            Some(Message::new(payload).crc()),
             "message {seq} arrived corrupted or out of order"
         );
-        assert!(d.delivered_at > t, "time must advance");
-        t = d.delivered_at;
+        assert!(d.finished > t, "time must advance");
+        t = d.finished;
     }
     let s = rn.stats();
     assert!(s.crc_failures > 0, "rate 0.5 must corrupt something: {s:?}");
@@ -864,11 +864,11 @@ fn plane_failover_loses_and_reorders_nothing() {
             .expect("secondary plane carries it");
         assert_eq!(
             d.crc,
-            Message::new(payload).crc(),
+            Some(Message::new(payload).crc()),
             "transfer {seq} lost or swapped"
         );
+        t = d.finished;
         deliveries.push(d);
-        t = d.delivered_at;
     }
     let s = rn.stats();
     assert_eq!(s.link_downs, 1);
@@ -876,9 +876,7 @@ fn plane_failover_loses_and_reorders_nothing() {
     assert_eq!(s.delivered_bytes, 24 * 4096, "zero payload loss");
     assert_eq!(s.retries_exhausted, 0);
     // Delivery order is program order: times strictly increase.
-    assert!(deliveries
-        .windows(2)
-        .all(|w| w[0].delivered_at < w[1].delivered_at));
+    assert!(deliveries.windows(2).all(|w| w[0].finished < w[1].finished));
     // Once the link dies, every remaining transfer rides plane 1.
     let first = deliveries
         .iter()
@@ -927,7 +925,7 @@ fn mesh_survives_any_single_link_death() {
                 let mut c = mesh
                     .open(src, dst, Time::ZERO)
                     .unwrap_or_else(|e| panic!("{src}->{dst} with {a}-{b} dead: {e}"));
-                let done = c.transfer(c.ready_at(), 64);
+                let done = c.transfer(c.ready_at(), 64).finished;
                 c.close(&mut mesh, done);
             }
         }
@@ -940,7 +938,7 @@ fn mesh_survives_any_single_link_death() {
                     continue;
                 }
                 let mut c = again.open(src, dst, Time::ZERO).unwrap();
-                let done = c.transfer(c.ready_at(), 64);
+                let done = c.transfer(c.ready_at(), 64).finished;
                 c.close(&mut again, done);
             }
         }
