@@ -49,6 +49,18 @@ cargo run --release -p pm-bench --bin figures -- --quick --csv \
   faults > target/x8_quick.csv
 diff -u tests/goldens/x8_quick.csv target/x8_quick.csv
 
+echo "== traffic-collapse golden (quick X12) =="
+# The X12 collapse curves pin the whole heavy-traffic stack: the seeded
+# multi-tenant generator streams, the scenario driver's queue/deadline
+# accounting, and the contention the Network/Mesh fabrics resolve under
+# saturation — serial and par_sweep runs must both match. Regenerate an
+# intentional change with:
+#   cargo run --release -p pm-bench --bin figures -- --quick --csv \
+#     traffic > tests/goldens/x12_quick.csv
+cargo run --release -p pm-bench --bin figures -- --quick --csv \
+  traffic > target/x12_quick.csv
+diff -u tests/goldens/x12_quick.csv target/x12_quick.csv
+
 echo "== observability golden (quick metrics registry) =="
 # The --metrics collection drives one deterministic scenario through
 # every substrate and dumps the registry as sorted CSV; any counter

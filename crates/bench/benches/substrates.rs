@@ -223,6 +223,37 @@ fn bench_earth(r: &mut Runner) {
     });
 }
 
+fn bench_traffic(r: &mut Runner) {
+    use pm_core::traffic::{quick_scenario, run_scenario, ScenarioTopology};
+    use pm_sim::metrics::MetricRegistry;
+    use pm_workloads::traffic::{TrafficConfig, TrafficGen, TrafficPattern};
+
+    // Pure generation throughput: 10k Poisson draws, no fabric.
+    let cfg = TrafficConfig {
+        nodes: 8,
+        tenants: 1024,
+        pattern: TrafficPattern::Poisson,
+        offered_bytes_per_s: 480e6,
+        payload: 4096,
+        messages: 10_000,
+        seed: 0xBE,
+    };
+    r.bench("traffic/generate_10k_poisson", move || {
+        TrafficGen::new(cfg.clone())
+            .map(|m| m.at.as_ps())
+            .sum::<u64>()
+    });
+
+    // The full scenario loop at moderate load, metrics on: generator +
+    // route setup + backpressured transfer + per-message registry
+    // updates through the preallocated handles.
+    r.bench("traffic/scenario_2k_msgs_with_metrics", || {
+        let cfg = quick_scenario(ScenarioTopology::Cluster8Xbar, 0.5, 2_000, 0xEB);
+        let mut reg = MetricRegistry::new();
+        run_scenario(&cfg, Some(&mut reg)).delivered_bytes
+    });
+}
+
 fn bench_parser(r: &mut Runner) {
     let text = "loop 64 {\n r1 = load 0x1000 + i*8\n r2 = load 0x9000 + i*8\n r3 = fmadd r1, r2, r3\n branch 0x10 taken\n}\nstore r3, 0x20000\n";
     r.bench("parse_kernel/dot64", || {
@@ -245,6 +276,7 @@ fn main() {
     bench_mesh(&mut r);
     bench_mpi(&mut r);
     bench_earth(&mut r);
+    bench_traffic(&mut r);
     bench_parser(&mut r);
     black_box(r.samples().len());
 }

@@ -183,6 +183,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "X11 — EARTH fibers hiding remote latency (§7 future work)",
             run: |quick| Artifact::Figure(x11_earth(quick)),
         },
+        Experiment {
+            id: "traffic",
+            title: "X12 — offered load vs goodput collapse per topology",
+            run: |quick| Artifact::Figure(crate::traffic::x12_figure(quick)),
+        },
     ]
 }
 
@@ -911,6 +916,28 @@ pub fn headline_checks() -> Vec<(String, bool, String)> {
         format!(
             "clean {clean:.1} / transient {transient:.1} / one-plane-dead {degraded:.1} Mbyte/s"
         ),
+    ));
+
+    let x12 = crate::traffic::x12_figure(true);
+    let mut x12_ok = true;
+    let mut x12_detail = String::new();
+    for s in x12.series() {
+        let knee = crate::traffic::collapse_knee(s.points());
+        let monotone = crate::traffic::monotone_after_knee(s.points());
+        x12_ok &= monotone;
+        if !x12_detail.is_empty() {
+            x12_detail.push_str("; ");
+        }
+        let (kx, ky) = s.points()[knee];
+        x12_detail.push_str(&format!("{}: knee {ky:.0} MB/s @ {kx:.1}", s.name()));
+        if !monotone {
+            x12_detail.push_str(" NOT MONOTONE PAST KNEE");
+        }
+    }
+    out.push((
+        "x12: goodput monotone non-increasing past the collapse knee".into(),
+        x12_ok,
+        x12_detail,
     ));
 
     out

@@ -18,6 +18,9 @@
 //! * [`observability`] — drives one deterministic scenario through every
 //!   substrate and harvests its counters into a single
 //!   [`pm_sim::metrics::MetricRegistry`] tree (`figures --metrics`).
+//! * [`traffic`] — the heavy-traffic scenario engine: offered-load
+//!   sweeps of multi-tenant message streams through the network
+//!   fabrics, with faults injected under load (experiment X12).
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod matmultrun;
 pub mod observability;
 pub mod report;
 pub mod systems;
+pub mod traffic;
 
 pub use experiments::{all_experiments, Artifact, Experiment};
 pub use systems::System;

@@ -46,8 +46,6 @@ pub use config::CommConfig;
 pub use duplex::{DuplexChannel, Message, RecvError};
 pub use earth::{EarthConfig, EarthRun};
 pub use mpi::MpiWorld;
-#[allow(deprecated)]
-pub use reliable::Delivery;
 pub use reliable::{
     DeliveryError, ReliabilityStats, ReliableChannel, ResilientNetwork, RetryPolicy,
 };

@@ -250,38 +250,6 @@ impl ReliableChannel {
     }
 }
 
-/// One successful end-to-end delivery.
-#[deprecated(
-    since = "0.6.0",
-    note = "`ResilientNetwork::send` now returns `TransferOutcome`; convert with `Delivery::from` if a caller still needs this shape"
-)]
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Delivery {
-    /// When the receiving CPU finished the software receive.
-    pub delivered_at: Time,
-    /// The network plane that carried the successful attempt.
-    pub plane: u32,
-    /// Wire transmissions used, first attempt included.
-    pub attempts: u32,
-    /// The CRC-16 the receiver verified, equal to the sender's.
-    pub crc: u16,
-}
-
-#[allow(deprecated)]
-impl From<TransferOutcome> for Delivery {
-    fn from(o: TransferOutcome) -> Self {
-        Delivery {
-            delivered_at: o.finished,
-            plane: o.plane,
-            attempts: o.attempts,
-            // A reliable send always carries a verified CRC; 0 only for
-            // outcomes below the reliability layer, which never built a
-            // Delivery in the old API either.
-            crc: o.crc.unwrap_or(0),
-        }
-    }
-}
-
 /// CRC-checked, retransmitting, plane-failing-over transport over a
 /// multi-hop [`Network`] — the three recovery tiers composed.
 ///
@@ -717,19 +685,6 @@ mod tests {
         assert_eq!(d.plane, 1);
         assert!(d.failed_over, "the retry crossed to the surviving plane");
         assert_eq!(s.delivered_bytes, 60_000);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_delivery_shim_round_trips_the_outcome() {
-        let mut rn =
-            ResilientNetwork::new(Network::new(Topology::two_nodes()), FaultPlan::clean(1));
-        let o = rn.send(0, 1, 0, Time::ZERO, &[5; 128]).unwrap();
-        let d = Delivery::from(o.clone());
-        assert_eq!(d.delivered_at, o.finished);
-        assert_eq!(d.plane, o.plane);
-        assert_eq!(d.attempts, o.attempts);
-        assert_eq!(Some(d.crc), o.crc);
     }
 
     #[test]

@@ -52,10 +52,8 @@ pub use fault::{FaultPlan, FaultPlanError, FaultStats, LinkDown, LinkRef, Transi
 pub use fifo::TimedFifo;
 pub use flitsim::{FlitSimResult, Packet};
 pub use mesh::{Mesh, MeshConfig, MeshError};
-#[allow(deprecated)]
-pub use network::RouteTransferStats;
 pub use network::{Connection, FailoverOutcome, Network, RouteBackpressure, RouteError};
-pub use outcome::TransferOutcome;
+pub use outcome::{OutcomeHandles, TransferOutcome};
 pub use stopwire::{RouteFlowStats, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
 pub use topology::{LinkKey, LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};

@@ -116,40 +116,6 @@ impl RouteBackpressure {
     }
 }
 
-/// What one backpressured transfer did.
-#[deprecated(
-    since = "0.6.0",
-    note = "transfer methods now return `TransferOutcome`; convert with `RouteTransferStats::from` if a caller still needs this shape"
-)]
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RouteTransferStats {
-    /// When the last payload byte arrived at the destination NI.
-    pub arrived: Time,
-    /// When the worm's tail left the source link: the source NI is free
-    /// (and the first segment drained) from here on, even though bytes
-    /// may still be queued in downstream FIFOs.
-    pub source_released: Time,
-    /// Total *stop* assertions over every route segment.
-    pub stop_transitions: u64,
-    /// Link ticks the source sat gated while it still had bytes.
-    pub stalled_ticks: u64,
-    /// Per-segment stream statistics, in route order.
-    pub per_segment: Vec<StopWireStats>,
-}
-
-#[allow(deprecated)]
-impl From<TransferOutcome> for RouteTransferStats {
-    fn from(o: TransferOutcome) -> Self {
-        RouteTransferStats {
-            arrived: o.finished,
-            source_released: o.source_released,
-            stop_transitions: o.stop_transitions,
-            stalled_ticks: o.stalled_ticks,
-            per_segment: o.per_segment,
-        }
-    }
-}
-
 /// An open wormhole connection.
 #[derive(Clone, Debug)]
 pub struct Connection {
@@ -660,20 +626,6 @@ mod tests {
         let stats = conn.transfer_backpressured(conn.ready_at(), 0, &bp);
         assert_eq!(stats.finished, conn.ready_at() + conn.head_latency());
         assert_eq!(stats.stalled_ticks, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_stats_shim_round_trips_the_outcome() {
-        let mut net = Network::new(Topology::two_nodes());
-        let mut conn = net.open(0, 1, 0, Time::ZERO).unwrap();
-        let bp = RouteBackpressure::powermanna(Vec::new());
-        let o = conn.transfer_backpressured(conn.ready_at(), 512, &bp);
-        let legacy = RouteTransferStats::from(o.clone());
-        assert_eq!(legacy.arrived, o.finished);
-        assert_eq!(legacy.source_released, o.source_released);
-        assert_eq!(legacy.stalled_ticks, o.stalled_ticks);
-        assert_eq!(legacy.per_segment, o.per_segment);
     }
 
     #[test]

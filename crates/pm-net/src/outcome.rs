@@ -17,7 +17,7 @@
 //! successful wire transfer.
 
 use crate::stopwire::StopWireStats;
-use pm_sim::metrics::MetricRegistry;
+use pm_sim::metrics::{MetricId, MetricRegistry};
 use pm_sim::time::Time;
 
 /// What one transfer did, across every layer that touched it.
@@ -99,26 +99,74 @@ impl TransferOutcome {
     /// `{prefix}/failovers`, `{prefix}/reroutes`, plus a
     /// `{prefix}/transfer_bytes` size histogram and a
     /// `{prefix}/segment_max_occupancy` FIFO-depth histogram.
+    ///
+    /// This is the convenience form: it re-resolves every path through
+    /// the registry's string index on each call. Hot paths that publish
+    /// per message should allocate an [`OutcomeHandles`] once and use
+    /// [`publish_to`](Self::publish_to) instead.
     pub fn publish(&self, reg: &mut MetricRegistry, prefix: &str) {
-        reg.count(&format!("{prefix}/transfers"), 1);
-        reg.count(&format!("{prefix}/bytes"), self.bytes);
-        reg.count(&format!("{prefix}/stalled_bytes"), self.stalled_bytes());
-        reg.count(&format!("{prefix}/stop_transitions"), self.stop_transitions);
-        reg.count(&format!("{prefix}/attempts"), u64::from(self.attempts));
-        reg.count(
-            &format!("{prefix}/crc_failures"),
-            u64::from(self.crc_failures),
-        );
-        reg.count(&format!("{prefix}/severed"), u64::from(self.severed));
-        reg.count(&format!("{prefix}/failovers"), u64::from(self.failed_over));
-        reg.count(&format!("{prefix}/reroutes"), u64::from(self.rerouted));
-        let sizes = reg.histogram(&format!("{prefix}/transfer_bytes"));
-        reg.record(sizes, self.bytes);
-        if !self.per_segment.is_empty() {
-            let occ = reg.histogram(&format!("{prefix}/segment_max_occupancy"));
-            for seg in &self.per_segment {
-                reg.record(occ, u64::from(seg.max_occupancy));
-            }
+        let handles = OutcomeHandles::new(reg, prefix);
+        self.publish_to(reg, &handles);
+    }
+
+    /// Publishes this outcome through preallocated `handles`: pure
+    /// dense-index counter adds and histogram records, no path
+    /// formatting and no `BTreeMap` walks. This is the per-message hot
+    /// path of the traffic engine; `tests/bench_guard.rs` bounds its
+    /// cost.
+    pub fn publish_to(&self, reg: &mut MetricRegistry, handles: &OutcomeHandles) {
+        reg.add(handles.transfers, 1);
+        reg.add(handles.bytes, self.bytes);
+        reg.add(handles.stalled_bytes, self.stalled_bytes());
+        reg.add(handles.stop_transitions, self.stop_transitions);
+        reg.add(handles.attempts, u64::from(self.attempts));
+        reg.add(handles.crc_failures, u64::from(self.crc_failures));
+        reg.add(handles.severed, u64::from(self.severed));
+        reg.add(handles.failovers, u64::from(self.failed_over));
+        reg.add(handles.reroutes, u64::from(self.rerouted));
+        reg.record(handles.transfer_bytes, self.bytes);
+        for seg in &self.per_segment {
+            reg.record(handles.segment_max_occupancy, u64::from(seg.max_occupancy));
+        }
+    }
+}
+
+/// Preallocated registry handles for every path
+/// [`TransferOutcome::publish`] writes, resolved once at scenario
+/// setup so the per-message publish is a handful of `Vec` index
+/// updates. Registration is idempotent: constructing handles over an
+/// existing prefix reuses the metrics already there.
+#[derive(Clone, Copy, Debug)]
+pub struct OutcomeHandles {
+    transfers: MetricId,
+    bytes: MetricId,
+    stalled_bytes: MetricId,
+    stop_transitions: MetricId,
+    attempts: MetricId,
+    crc_failures: MetricId,
+    severed: MetricId,
+    failovers: MetricId,
+    reroutes: MetricId,
+    transfer_bytes: MetricId,
+    segment_max_occupancy: MetricId,
+}
+
+impl OutcomeHandles {
+    /// Registers (or finds) the full outcome metric family under
+    /// `prefix` and returns the dense handles.
+    pub fn new(reg: &mut MetricRegistry, prefix: &str) -> Self {
+        OutcomeHandles {
+            transfers: reg.counter(&format!("{prefix}/transfers")),
+            bytes: reg.counter(&format!("{prefix}/bytes")),
+            stalled_bytes: reg.counter(&format!("{prefix}/stalled_bytes")),
+            stop_transitions: reg.counter(&format!("{prefix}/stop_transitions")),
+            attempts: reg.counter(&format!("{prefix}/attempts")),
+            crc_failures: reg.counter(&format!("{prefix}/crc_failures")),
+            severed: reg.counter(&format!("{prefix}/severed")),
+            failovers: reg.counter(&format!("{prefix}/failovers")),
+            reroutes: reg.counter(&format!("{prefix}/reroutes")),
+            transfer_bytes: reg.histogram(&format!("{prefix}/transfer_bytes")),
+            segment_max_occupancy: reg.histogram(&format!("{prefix}/segment_max_occupancy")),
         }
     }
 }
@@ -145,6 +193,25 @@ mod tests {
         assert_eq!(o.crc, None);
         assert!(!o.failed_over && !o.rerouted);
         assert_eq!(Time::from(o), Time::from_ps(900));
+    }
+
+    #[test]
+    fn publish_to_matches_publish_byte_for_byte() {
+        let mut o = TransferOutcome::streamed(Time::from_ps(900), Time::from_ps(700), 64, 0);
+        o.stalled_ticks = 5;
+        o.stop_transitions = 2;
+        o.attempts = 3;
+        o.crc_failures = 1;
+        o.rerouted = true;
+
+        let mut by_path = MetricRegistry::new();
+        let mut by_handle = MetricRegistry::new();
+        let handles = OutcomeHandles::new(&mut by_handle, "net");
+        for _ in 0..7 {
+            o.publish(&mut by_path, "net");
+            o.publish_to(&mut by_handle, &handles);
+        }
+        assert_eq!(by_path.to_csv(), by_handle.to_csv());
     }
 
     #[test]

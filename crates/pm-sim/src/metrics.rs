@@ -371,6 +371,16 @@ impl MetricRegistry {
         }
     }
 
+    /// The histogram at `path` (`None` if absent or not a histogram) —
+    /// the read side tests use to reconcile recorded distributions
+    /// against independently tallied totals.
+    pub fn histogram_stats(&self, path: &str) -> Option<&Histogram> {
+        match self.get(path)? {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
     /// Iterates `(path, metric)` in sorted path order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
         self.index

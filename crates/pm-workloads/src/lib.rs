@@ -13,6 +13,9 @@
 //!   the figures specify. Large sizes are simulated by row sampling.
 //! * [`stream`] — streaming and pointer-chase micro-kernels used by the
 //!   scaling ablations.
+//! * [`traffic`] — deterministic multi-tenant traffic generation
+//!   (Poisson, bursty, hotspot, uniform all-to-all) for the X12
+//!   offered-load collapse study.
 //!
 //! # Examples
 //!
@@ -30,8 +33,10 @@ pub mod hint;
 pub mod matmult;
 pub mod stencil;
 pub mod stream;
+pub mod traffic;
 
 pub use blocked::BlockedMatMult;
 pub use hint::{Hint, HintPass, HintType};
 pub use matmult::{MatMult, MatMultVersion};
 pub use stencil::Stencil;
+pub use traffic::{Message, TrafficConfig, TrafficGen, TrafficPattern};

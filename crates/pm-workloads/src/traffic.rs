@@ -1,0 +1,386 @@
+//! Deterministic heavy-traffic generation: thousands of tenants,
+//! millions of messages, four arrival patterns.
+//!
+//! The network experiments up to X11 drive a handful of point-to-point
+//! transfers; this module supplies the offered-load side of a real
+//! traffic study. A [`TrafficGen`] is an iterator over [`Message`]s —
+//! it never materialises the stream, so a run of millions of messages
+//! costs a few dozen bytes of state — and every draw comes from one
+//! [`SimRng`], so the same [`TrafficConfig`] reproduces the same
+//! byte-exact message sequence on every host.
+//!
+//! # Tenant mapping
+//!
+//! Tenants model independent users multiplexed onto the machine. Each
+//! message picks a tenant uniformly; tenant `t` is *homed* on node
+//! `t % nodes`, which becomes the message source. Destinations are
+//! uniform over the other nodes, except under
+//! [`TrafficPattern::Hotspot`] where a configured fraction collapses
+//! onto one hot node.
+//!
+//! # Arrival processes
+//!
+//! * [`Poisson`](TrafficPattern::Poisson) — exponential inter-arrival
+//!   gaps with mean `payload / offered_bytes_per_s`: the memoryless
+//!   open-loop load of the DNP/APEnet-style traffic studies.
+//! * [`Bursty`](TrafficPattern::Bursty) — a deterministic on/off square
+//!   wave: arrivals are Poisson *within* the on-windows at a rate
+//!   boosted by `100 / duty_percent`, so the long-run offered rate is
+//!   conserved while the instantaneous rate stresses queues.
+//! * [`Hotspot`](TrafficPattern::Hotspot) — Poisson arrivals whose
+//!   destinations concentrate on one node, the classic permutation-
+//!   network worst case.
+//! * [`UniformAllToAll`](TrafficPattern::UniformAllToAll) — evenly
+//!   spaced arrivals (constant gap), uniform destinations: the
+//!   smoothest schedule that still exercises every pair.
+//!
+//! # Examples
+//!
+//! ```
+//! use pm_workloads::traffic::{TrafficConfig, TrafficGen, TrafficPattern};
+//!
+//! let cfg = TrafficConfig {
+//!     nodes: 8,
+//!     tenants: 1024,
+//!     pattern: TrafficPattern::Poisson,
+//!     offered_bytes_per_s: 60e6,
+//!     payload: 4096,
+//!     messages: 1000,
+//!     seed: 7,
+//! };
+//! let total: u64 = TrafficGen::new(cfg.clone()).map(|m| m.bytes).sum();
+//! assert_eq!(total, 4096 * 1000);
+//! // Same seed, same stream:
+//! let a: Vec<_> = TrafficGen::new(cfg.clone()).collect();
+//! let b: Vec<_> = TrafficGen::new(cfg).collect();
+//! assert_eq!(a, b);
+//! ```
+
+use pm_sim::rng::SimRng;
+use pm_sim::time::{Duration, Time};
+
+/// The arrival process shaping when messages enter the machine and
+/// where they go.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficPattern {
+    /// Memoryless exponential inter-arrival gaps, uniform destinations.
+    Poisson,
+    /// On/off square wave: Poisson arrivals inside the on-window of
+    /// every `period`, silence outside it. The in-window rate is scaled
+    /// by `100 / duty_percent` so the long-run rate matches the
+    /// configured offered load.
+    Bursty {
+        /// Length of one on+off cycle.
+        period: Duration,
+        /// Percentage of each period that is "on" (`1..=100`).
+        duty_percent: u32,
+    },
+    /// Poisson arrivals; `percent` of messages from other nodes target
+    /// the `hot` node, the rest are uniform.
+    Hotspot {
+        /// The congested destination node.
+        hot: u32,
+        /// Percentage of eligible messages aimed at it (`0..=100`).
+        percent: u32,
+    },
+    /// Constant inter-arrival gap (the smoothest schedule at the
+    /// configured rate), uniform destinations.
+    UniformAllToAll,
+}
+
+/// Everything that determines a traffic stream. Two generators built
+/// from equal configs emit byte-identical streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficConfig {
+    /// Nodes in the target machine (≥ 2); sources and destinations are
+    /// drawn from `0..nodes`.
+    pub nodes: u32,
+    /// Independent tenants multiplexed onto the nodes (≥ 1).
+    pub tenants: u32,
+    /// The arrival process.
+    pub pattern: TrafficPattern,
+    /// Long-run offered load in payload bytes per (simulated) second.
+    pub offered_bytes_per_s: f64,
+    /// Payload bytes per message (≥ 1).
+    pub payload: u64,
+    /// Messages to emit before the iterator ends.
+    pub messages: u64,
+    /// Seed for the generator's private [`SimRng`].
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// Mean inter-arrival gap implied by the offered load, in
+    /// picoseconds: `payload / offered_bytes_per_s`.
+    pub fn mean_gap_ps(&self) -> f64 {
+        self.payload as f64 / self.offered_bytes_per_s * 1e12
+    }
+}
+
+/// One offered message: who sends what to whom, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Arrival instant at the source NI — the latency clock starts
+    /// here, queueing included.
+    pub at: Time,
+    /// The tenant the message belongs to (`0..tenants`).
+    pub tenant: u32,
+    /// Source node: the tenant's home, `tenant % nodes`.
+    pub src: u32,
+    /// Destination node, never equal to `src`.
+    pub dst: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// The deterministic message stream: an iterator yielding
+/// [`TrafficConfig::messages`] messages in non-decreasing arrival
+/// order.
+#[derive(Clone, Debug)]
+pub struct TrafficGen {
+    cfg: TrafficConfig,
+    rng: SimRng,
+    /// Arrival cursor in picoseconds.
+    t_ps: u64,
+    emitted: u64,
+}
+
+impl TrafficGen {
+    /// Builds a generator over `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config: fewer than 2 nodes, zero tenants,
+    /// zero payload, a non-positive offered rate, a bursty duty cycle
+    /// outside `1..=100` or zero period, or a hotspot node outside the
+    /// machine or percentage above 100.
+    pub fn new(cfg: TrafficConfig) -> Self {
+        assert!(cfg.nodes >= 2, "traffic needs at least 2 nodes");
+        assert!(cfg.tenants >= 1, "traffic needs at least 1 tenant");
+        assert!(cfg.payload >= 1, "payload must be at least 1 byte");
+        assert!(
+            cfg.offered_bytes_per_s > 0.0,
+            "offered rate must be positive"
+        );
+        match cfg.pattern {
+            TrafficPattern::Bursty {
+                period,
+                duty_percent,
+            } => {
+                assert!(period.as_ps() > 0, "bursty period must be positive");
+                assert!(
+                    (1..=100).contains(&duty_percent),
+                    "duty_percent must be in 1..=100"
+                );
+            }
+            TrafficPattern::Hotspot { hot, percent } => {
+                assert!(hot < cfg.nodes, "hot node outside the machine");
+                assert!(percent <= 100, "hotspot percent above 100");
+            }
+            TrafficPattern::Poisson | TrafficPattern::UniformAllToAll => {}
+        }
+        let rng = SimRng::seed_from(cfg.seed);
+        TrafficGen {
+            cfg,
+            rng,
+            t_ps: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The config this stream was built from.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// An exponential gap with `mean` picoseconds, at least 1 ps so
+    /// time strictly advances within a burst of draws.
+    fn exp_gap_ps(&mut self, mean: f64) -> u64 {
+        let u = self.rng.gen_f64();
+        // u ∈ [0, 1) so 1-u ∈ (0, 1] and the log is finite.
+        let gap = -(1.0 - u).ln() * mean;
+        (gap as u64).max(1)
+    }
+
+    /// Advances the arrival cursor according to the pattern.
+    fn advance(&mut self) {
+        let mean = self.cfg.mean_gap_ps();
+        match self.cfg.pattern {
+            TrafficPattern::Poisson | TrafficPattern::Hotspot { .. } => {
+                self.t_ps += self.exp_gap_ps(mean);
+            }
+            TrafficPattern::UniformAllToAll => {
+                self.t_ps += (mean as u64).max(1);
+            }
+            TrafficPattern::Bursty {
+                period,
+                duty_percent,
+            } => {
+                // Draw the gap in *on-time* at the boosted in-window
+                // rate, then map it onto the wall clock by walking the
+                // on-windows: off-time passes for free. Long-run rate
+                // is conserved because on-time accumulates at exactly
+                // duty/100 of the wall clock.
+                let on_mean = mean * f64::from(duty_percent) / 100.0;
+                let mut dt = self.exp_gap_ps(on_mean);
+                let period = period.as_ps();
+                let on = (period * u64::from(duty_percent)) / 100;
+                let on = on.max(1);
+                // Step out of an off-region first.
+                let pos = self.t_ps % period;
+                if pos >= on {
+                    self.t_ps += period - pos;
+                }
+                loop {
+                    let pos = self.t_ps % period;
+                    let avail = on - pos;
+                    if dt < avail {
+                        self.t_ps += dt;
+                        break;
+                    }
+                    dt -= avail;
+                    self.t_ps += avail + (period - on);
+                }
+            }
+        }
+    }
+
+    /// A uniform destination over `0..nodes` excluding `src`.
+    fn uniform_dst(&mut self, src: u32) -> u32 {
+        let d = self.rng.gen_range(0, u64::from(self.cfg.nodes) - 1) as u32;
+        if d >= src {
+            d + 1
+        } else {
+            d
+        }
+    }
+}
+
+impl Iterator for TrafficGen {
+    type Item = Message;
+
+    fn next(&mut self) -> Option<Message> {
+        if self.emitted == self.cfg.messages {
+            return None;
+        }
+        self.emitted += 1;
+        self.advance();
+        let tenant = self.rng.gen_range(0, u64::from(self.cfg.tenants)) as u32;
+        let src = tenant % self.cfg.nodes;
+        let dst = match self.cfg.pattern {
+            TrafficPattern::Hotspot { hot, percent } => {
+                // The draw happens unconditionally so the decision
+                // stream (and thus every later draw) does not depend on
+                // which tenant came up.
+                let aimed = self.rng.gen_bool(f64::from(percent) / 100.0);
+                if aimed && src != hot {
+                    hot
+                } else {
+                    self.uniform_dst(src)
+                }
+            }
+            _ => self.uniform_dst(src),
+        };
+        Some(Message {
+            at: Time::from_ps(self.t_ps),
+            tenant,
+            src,
+            dst,
+            bytes: self.cfg.payload,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.cfg.messages - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pattern: TrafficPattern) -> TrafficConfig {
+        TrafficConfig {
+            nodes: 8,
+            tenants: 1024,
+            pattern,
+            offered_bytes_per_s: 240e6,
+            payload: 4096,
+            messages: 20_000,
+            seed: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn arrival_times_are_non_decreasing_and_strictly_positive() {
+        for pattern in [
+            TrafficPattern::Poisson,
+            TrafficPattern::UniformAllToAll,
+            TrafficPattern::Bursty {
+                period: Duration::from_us_f64(100.0),
+                duty_percent: 25,
+            },
+            TrafficPattern::Hotspot {
+                hot: 3,
+                percent: 60,
+            },
+        ] {
+            let mut last = Time::ZERO;
+            for m in TrafficGen::new(cfg(pattern)) {
+                assert!(m.at > Time::ZERO);
+                assert!(m.at >= last, "arrivals must be ordered");
+                last = m.at;
+            }
+        }
+    }
+
+    #[test]
+    fn sources_are_tenant_homes_and_destinations_differ() {
+        for m in TrafficGen::new(cfg(TrafficPattern::Poisson)).take(5000) {
+            assert_eq!(m.src, m.tenant % 8);
+            assert_ne!(m.dst, m.src);
+            assert!(m.dst < 8);
+            assert!(m.tenant < 1024);
+        }
+    }
+
+    #[test]
+    fn uniform_all_to_all_has_constant_gap() {
+        let msgs: Vec<Message> = TrafficGen::new(cfg(TrafficPattern::UniformAllToAll))
+            .take(100)
+            .collect();
+        let gap = msgs[1].at.since(msgs[0].at);
+        for w in msgs.windows(2) {
+            assert_eq!(w[1].at.since(w[0].at), gap);
+        }
+        // 4096 B at 240 MB/s is a 17.07 us gap.
+        assert_eq!(gap.as_ps(), 17_066_666);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut g = TrafficGen::new(cfg(TrafficPattern::Poisson));
+        assert_eq!(g.size_hint(), (20_000, Some(20_000)));
+        g.next();
+        assert_eq!(g.size_hint(), (19_999, Some(19_999)));
+        assert_eq!(g.count(), 19_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn one_node_machine_is_rejected() {
+        let mut c = cfg(TrafficPattern::Poisson);
+        c.nodes = 1;
+        TrafficGen::new(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot node outside the machine")]
+    fn hotspot_outside_machine_is_rejected() {
+        TrafficGen::new(cfg(TrafficPattern::Hotspot {
+            hot: 8,
+            percent: 50,
+        }));
+    }
+}

@@ -63,3 +63,53 @@ fn transfer_outcome_hot_path_stays_cheap() {
         "transfer+publish costs {published:?}/iter — publication stopped being per-transfer?"
     );
 }
+
+/// The X12 hot path's contract: with preallocated [`OutcomeHandles`]
+/// a publication is a handful of dense-index counter bumps — no path
+/// formatting, no `BTreeMap` walk — so driving millions of messages
+/// with metrics enabled stays feasible. Bounds are ~20-50x measured
+/// cost so host noise cannot trip them, while reintroducing per-publish
+/// path lookups (about 1.5 us each) still will.
+///
+/// [`OutcomeHandles`]: powermanna::net::outcome::OutcomeHandles
+#[test]
+fn traffic_metrics_hot_path_stays_cheap() {
+    use powermanna::machine::traffic::{quick_scenario, run_scenario, ScenarioTopology};
+    use powermanna::net::outcome::OutcomeHandles;
+
+    let mut net = Network::new(Topology::two_nodes());
+    let mut conn = net.open(0, 1, 0, Time::ZERO).expect("route");
+    let start = conn.ready_at();
+
+    let mut r = Runner::new();
+    Runner::header("traffic metrics hot-path guard");
+
+    let mut reg = MetricRegistry::new();
+    let handles = OutcomeHandles::new(&mut reg, "net");
+    r.bench("publish_via_handles", || {
+        let o = conn.transfer(black_box(start), black_box(4096));
+        o.publish_to(&mut reg, &handles);
+        black_box(o)
+    });
+
+    // The whole scenario loop, metrics on — per-message cost includes
+    // generation, route setup, the backpressured transfer and the
+    // registry updates.
+    r.bench("scenario_per_message_with_metrics", || {
+        let cfg = quick_scenario(ScenarioTopology::Cluster8Xbar, 0.5, 500, 0xEB);
+        let mut sreg = MetricRegistry::new();
+        black_box(run_scenario(&cfg, Some(&mut sreg)).delivered_bytes)
+    });
+
+    let samples = r.samples();
+    let publish = samples[0].mean;
+    let scenario = samples[1].mean / 500;
+    assert!(
+        publish < Duration::from_micros(2),
+        "publish via handles costs {publish:?}/iter — did the hot path regrow path lookups?"
+    );
+    assert!(
+        scenario < Duration::from_micros(40),
+        "scenario costs {scenario:?}/message with metrics on — X12 full runs would crawl"
+    );
+}

@@ -163,3 +163,94 @@ fn x8_registry_goodput_matches_fault_ledger_exactly() {
         );
     }
 }
+
+/// The X12 scenario engine's conservation ledger reconciles bit-exact
+/// with the registry: `offered == delivered + dropped + in-flight`
+/// globally AND per tenant, with every term recounted from the
+/// `traffic/*` counters rather than trusted from the report. Runs with
+/// faults under load so the retry/corruption counters are exercised
+/// too.
+#[test]
+fn traffic_conservation_reconciles_with_registry_per_tenant() {
+    use powermanna::machine::traffic::{quick_scenario, run_scenario, ScenarioTopology};
+
+    let mut cfg = quick_scenario(ScenarioTopology::Cluster8Xbar, 0.8, 12_000, 0xC0);
+    cfg.tenants = 128;
+    cfg.faults = Some(
+        FaultPlan::clean(0xC0DE)
+            .with_transient_rate(0.05)
+            .expect("rate in range")
+            .kill_link(
+                Time::from_ps(1_000_000_000),
+                LinkRef::NodeLink { node: 2, plane: 0 },
+            ),
+    );
+    let mut reg = MetricRegistry::new();
+    let report = run_scenario(&cfg, Some(&mut reg));
+
+    // The report's own invariant first.
+    assert!(report.conserves_bytes());
+    // Overload with faults must exercise all three fates and the
+    // retry machinery, or this test proves less than it claims.
+    assert!(report.delivered_messages > 0);
+    assert!(report.dropped_messages > 0);
+    assert!(report.late_messages > 0);
+    assert!(report.attempts > report.offered_messages - report.dropped_messages);
+    assert!(report.crc_failures > 0);
+    assert!(report.failovers > 0);
+
+    // Global counters are a bit-exact recount of the report.
+    let c = |path: &str| reg.counter_value(path).expect(path);
+    assert_eq!(c("traffic/offered_bytes"), report.offered_bytes);
+    assert_eq!(c("traffic/offered_messages"), report.offered_messages);
+    assert_eq!(c("traffic/delivered_bytes"), report.delivered_bytes);
+    assert_eq!(c("traffic/delivered_messages"), report.delivered_messages);
+    assert_eq!(c("traffic/dropped_bytes"), report.dropped_bytes);
+    assert_eq!(c("traffic/dropped_messages"), report.dropped_messages);
+    assert_eq!(c("traffic/inflight_bytes"), report.inflight_bytes);
+    assert_eq!(c("traffic/inflight_messages"), report.inflight_messages);
+    assert_eq!(c("traffic/late_messages"), report.late_messages);
+    assert_eq!(c("traffic/net/attempts"), report.attempts);
+    assert_eq!(c("traffic/net/crc_failures"), report.crc_failures);
+    assert_eq!(c("traffic/net/failovers"), report.failovers);
+    assert_eq!(c("traffic/net/reroutes"), report.reroutes);
+    // Conservation holds over the registry's own numbers.
+    assert_eq!(
+        c("traffic/offered_bytes"),
+        c("traffic/delivered_bytes") + c("traffic/dropped_bytes") + c("traffic/inflight_bytes")
+    );
+
+    // Per-tenant rows: registry vs report, and each row conserves.
+    let (mut offered, mut delivered, mut dropped, mut inflight) = (0u64, 0u64, 0u64, 0u64);
+    for (t, row) in report.per_tenant.iter().enumerate() {
+        let o = c(&format!("traffic/tenant{t:04}/offered_bytes"));
+        let d = c(&format!("traffic/tenant{t:04}/delivered_bytes"));
+        let x = c(&format!("traffic/tenant{t:04}/dropped_bytes"));
+        let f = c(&format!("traffic/tenant{t:04}/inflight_bytes"));
+        assert_eq!(o, row.offered_bytes, "tenant {t} offered");
+        assert_eq!(d, row.delivered_bytes, "tenant {t} delivered");
+        assert_eq!(x, row.dropped_bytes, "tenant {t} dropped");
+        assert_eq!(f, row.inflight_bytes, "tenant {t} inflight");
+        assert_eq!(o, d + x + f, "tenant {t} conservation");
+        offered += o;
+        delivered += d;
+        dropped += x;
+        inflight += f;
+    }
+    // Tenant columns sum to the global counters — nothing counted
+    // twice, nothing uncounted.
+    assert_eq!(offered, c("traffic/offered_bytes"));
+    assert_eq!(delivered, c("traffic/delivered_bytes"));
+    assert_eq!(dropped, c("traffic/dropped_bytes"));
+    assert_eq!(inflight, c("traffic/inflight_bytes"));
+
+    // The latency histogram holds exactly the delivered messages.
+    let lat = reg
+        .histogram_stats("traffic/latency_ns")
+        .expect("histogram");
+    assert_eq!(lat.total(), report.delivered_messages);
+    assert_eq!(lat.total(), report.latency_ns.total());
+    assert_eq!(lat.sum(), report.latency_ns.sum());
+    assert_eq!(lat.quantile(0.99), report.p99_latency_ns());
+    assert_eq!(lat.quantile(0.999), report.p999_latency_ns());
+}

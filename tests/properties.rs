@@ -955,3 +955,158 @@ fn x8_quick_csv_is_reproducible() {
     let csv = || (find("faults").expect("registered").run)(true).to_csv();
     assert_eq!(csv(), csv());
 }
+
+/// Poisson inter-arrival gaps average to `payload / offered_rate`.
+/// Sample-mean std error at 40k draws is ~0.5% of the mean, so a 5%
+/// band never flakes while still catching an off-by-`duty` or
+/// off-by-`1e3` rate bug.
+#[test]
+fn traffic_poisson_gap_mean_matches_offered_rate() {
+    use powermanna::workloads::traffic::{TrafficConfig, TrafficGen, TrafficPattern};
+    let mut rng = cases(40);
+    for _ in 0..4 {
+        let rate = rng.gen_range(30, 960) as f64 * 1e6;
+        let cfg = TrafficConfig {
+            nodes: 8,
+            tenants: 512,
+            pattern: TrafficPattern::Poisson,
+            offered_bytes_per_s: rate,
+            payload: 4096,
+            messages: 40_000,
+            seed: rng.gen_range(0, u64::MAX),
+        };
+        let expect = cfg.mean_gap_ps();
+        let last = TrafficGen::new(cfg.clone()).last().expect("messages > 0");
+        let mean = last.at.as_ps() as f64 / cfg.messages as f64;
+        let err = (mean - expect).abs() / expect;
+        assert!(err < 0.05, "rate={rate}: mean {mean} vs {expect} ({err})");
+    }
+}
+
+/// Bursty arrivals land only inside the on-windows, and the duty-cycle
+/// rate boost conserves the long-run offered rate.
+#[test]
+fn traffic_bursty_respects_duty_cycle_and_conserves_rate() {
+    use powermanna::workloads::traffic::{TrafficConfig, TrafficGen, TrafficPattern};
+    let mut rng = cases(41);
+    for _ in 0..4 {
+        let duty_percent = rng.gen_range(10, 90) as u32;
+        let period = Duration::from_us_f64(rng.gen_range(50, 400) as f64);
+        let cfg = TrafficConfig {
+            nodes: 8,
+            tenants: 512,
+            pattern: TrafficPattern::Bursty {
+                period,
+                duty_percent,
+            },
+            offered_bytes_per_s: 240e6,
+            payload: 4096,
+            messages: 40_000,
+            seed: rng.gen_range(0, u64::MAX),
+        };
+        let on = period.as_ps() * u64::from(duty_percent) / 100;
+        let mut last = 0u64;
+        let mut count = 0u64;
+        for m in TrafficGen::new(cfg.clone()) {
+            assert!(
+                m.at.as_ps() % period.as_ps() < on,
+                "arrival at {} outside the on-window (duty {duty_percent}%)",
+                m.at.as_ps()
+            );
+            last = m.at.as_ps();
+            count += 1;
+        }
+        // The square wave conserves the long-run rate: the mean gap over
+        // the whole run matches the Poisson mean within sampling noise.
+        let mean = last as f64 / count as f64;
+        let expect = cfg.mean_gap_ps();
+        let err = (mean - expect).abs() / expect;
+        assert!(
+            err < 0.05,
+            "duty={duty_percent}%: mean {mean} vs {expect} ({err})"
+        );
+    }
+}
+
+/// Hotspot traffic concentrates close to the configured fraction on the
+/// hot node while every other destination stays near the uniform share.
+#[test]
+fn traffic_hotspot_concentrates_on_the_hot_node() {
+    use powermanna::workloads::traffic::{TrafficConfig, TrafficGen, TrafficPattern};
+    let nodes = 8u32;
+    let hot = 3u32;
+    let percent = 60u32;
+    let cfg = TrafficConfig {
+        nodes,
+        tenants: 512,
+        pattern: TrafficPattern::Hotspot { hot, percent },
+        offered_bytes_per_s: 240e6,
+        payload: 4096,
+        messages: 40_000,
+        seed: 0x0905_7071,
+    };
+    let mut per_dst = vec![0u64; nodes as usize];
+    let mut total = 0u64;
+    for m in TrafficGen::new(cfg) {
+        per_dst[m.dst as usize] += 1;
+        total += 1;
+    }
+    // Aimed messages (60%) hit the hot node unless homed there (1/8 of
+    // tenants); unaimed ones add a uniform 1/7 share of the rest.
+    let aimed = f64::from(percent) / 100.0;
+    let hot_share = aimed * (7.0 / 8.0) + (1.0 - aimed + aimed / 8.0) / 7.0;
+    let got = per_dst[hot as usize] as f64 / total as f64;
+    assert!(
+        (got - hot_share).abs() < 0.02,
+        "hot share {got} vs expected {hot_share}"
+    );
+    // Everyone else splits the remainder roughly evenly.
+    let cold_share = (1.0 - hot_share) / 7.0;
+    for (d, &n) in per_dst.iter().enumerate() {
+        if d as u32 == hot {
+            continue;
+        }
+        let got = n as f64 / total as f64;
+        assert!(
+            (got - cold_share).abs() < 0.02,
+            "node {d} share {got} vs expected {cold_share}"
+        );
+    }
+}
+
+/// The same config replays the same byte-exact stream; a different seed
+/// diverges. This is the invariant the X12 golden CSV rests on.
+#[test]
+fn traffic_stream_is_byte_exact_per_seed() {
+    use powermanna::workloads::traffic::{Message, TrafficConfig, TrafficGen, TrafficPattern};
+    let mut rng = cases(43);
+    for pattern in [
+        TrafficPattern::Poisson,
+        TrafficPattern::Bursty {
+            period: Duration::from_us_f64(100.0),
+            duty_percent: 25,
+        },
+        TrafficPattern::Hotspot {
+            hot: 5,
+            percent: 80,
+        },
+        TrafficPattern::UniformAllToAll,
+    ] {
+        let cfg = TrafficConfig {
+            nodes: 8,
+            tenants: 2048,
+            pattern,
+            offered_bytes_per_s: 480e6,
+            payload: 4096,
+            messages: 5_000,
+            seed: rng.gen_range(0, u64::MAX),
+        };
+        let a: Vec<Message> = TrafficGen::new(cfg.clone()).collect();
+        let b: Vec<Message> = TrafficGen::new(cfg.clone()).collect();
+        assert_eq!(a, b, "{pattern:?}: same seed must replay byte-exact");
+        let mut other = cfg.clone();
+        other.seed = cfg.seed.wrapping_add(1);
+        let c: Vec<Message> = TrafficGen::new(other).collect();
+        assert_ne!(a, c, "{pattern:?}: a different seed must diverge");
+    }
+}
