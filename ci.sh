@@ -61,6 +61,18 @@ cargo run --release -p pm-bench --bin figures -- --quick --csv \
   traffic > target/x12_quick.csv
 diff -u tests/goldens/x12_quick.csv target/x12_quick.csv
 
+echo "== hierarchy golden (quick X13) =="
+# The X13 curves pin the 1024-node hierarchical topology, the
+# multi-crossbar RouteSim wormhole model (blocking, waiter wake-up,
+# adaptive vs oblivious path choice) and the 8x8 mesh reference — any
+# timing or policy drift shows up as a CSV diff. Regenerate an
+# intentional change with:
+#   cargo run --release -p pm-bench --bin figures -- --quick --csv \
+#     hierarchy > tests/goldens/x13_quick.csv
+cargo run --release -p pm-bench --bin figures -- --quick --csv \
+  hierarchy > target/x13_quick.csv
+diff -u tests/goldens/x13_quick.csv target/x13_quick.csv
+
 echo "== observability golden (quick metrics registry) =="
 # The --metrics collection drives one deterministic scenario through
 # every substrate and dumps the registry as sorted CSV; any counter

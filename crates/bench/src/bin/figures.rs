@@ -22,6 +22,7 @@ use pm_core::report::{render_terminal, run_all, write_bundle};
 use pm_core::systems;
 use pm_net::flitsim::{self, Backpressure};
 use pm_net::network::{Network, RouteBackpressure};
+use pm_net::routesim::{RoutePolicy, RouteSim};
 use pm_net::stopwire::{StopWireConfig, StopWireEngine};
 use pm_net::topology::Topology;
 use pm_sim::par;
@@ -225,7 +226,9 @@ struct HotPath {
 /// * a MatMult sweep over provisioning-dominated sizes, fresh
 ///   `MemorySystem` per point vs the thread-local pool;
 /// * a saturated backpressured crossbar batch, per-flit stop-wire
-///   bookkeeping vs the batched closed-form engine.
+///   bookkeeping vs the batched closed-form engine;
+/// * the 1024-worm hierarchy permutation, fresh simulator per batch vs
+///   the pooled `RouteSim` reuse `tests/bench_guard.rs` budgets.
 fn time_hot_paths(quick: bool) -> Vec<HotPath> {
     let reps = if quick { 20 } else { 50 };
 
@@ -307,6 +310,27 @@ fn time_hot_paths(quick: bool) -> Vec<HotPath> {
     let route_per_flit_ms = route_ms(StopWireEngine::PerFlit);
     let route_batched_ms = route_ms(StopWireEngine::Batched);
 
+    // The 1024-worm hierarchy permutation: every node of system1024
+    // injects at once and the adaptive policy keeps all 1024 worms in
+    // flight. The fresh path rebuilds the simulator (adjacency tables,
+    // route arena, event heap) per batch; the pooled path reuses one
+    // simulator so a batch touches only recycled vectors.
+    let hierarchy_worms = pm_core::hierarchy::x13_hot_path_worms();
+    let topo = Topology::system1024();
+    let t = Instant::now();
+    for _ in 0..reps {
+        let mut sim = RouteSim::new(&topo);
+        black_box(sim.run(&hierarchy_worms, RoutePolicy::Adaptive).finished_at);
+    }
+    let hierarchy_fresh_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut sim = RouteSim::new(&topo);
+    sim.run(&hierarchy_worms, RoutePolicy::Adaptive);
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(sim.run(&hierarchy_worms, RoutePolicy::Adaptive).finished_at);
+    }
+    let hierarchy_reused_ms = t.elapsed().as_secs_f64() * 1e3;
+
     vec![
         HotPath {
             name: "matmult_sweep",
@@ -328,6 +352,13 @@ fn time_hot_paths(quick: bool) -> Vec<HotPath> {
             baseline_ms: route_per_flit_ms,
             optimized: "batched",
             optimized_ms: route_batched_ms,
+        },
+        HotPath {
+            name: "hierarchy",
+            baseline: "fresh",
+            baseline_ms: hierarchy_fresh_ms,
+            optimized: "reused",
+            optimized_ms: hierarchy_reused_ms,
         },
     ]
 }

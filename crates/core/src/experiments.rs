@@ -188,6 +188,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "X12 — offered load vs goodput collapse per topology",
             run: |quick| Artifact::Figure(crate::traffic::x12_figure(quick)),
         },
+        Experiment {
+            id: "hierarchy",
+            title: "X13 — 1024-node hierarchy: adaptive vs oblivious routing vs mesh",
+            run: |quick| Artifact::Figure(crate::hierarchy::x13_figure(quick)),
+        },
     ]
 }
 
@@ -938,6 +943,27 @@ pub fn headline_checks() -> Vec<(String, bool, String)> {
         "x12: goodput monotone non-increasing past the collapse knee".into(),
         x12_ok,
         x12_detail,
+    ));
+
+    let x13 = crate::hierarchy::x13_figure(true);
+    let ada = x13.series()[0].points();
+    let obl = x13.series()[1].points();
+    let knee = crate::traffic::collapse_knee(ada);
+    // Past saturation the oblivious middle-0 funnel must never beat
+    // the policy that spreads over all the middle crossbars (a small
+    // relative slack absorbs float noise in the goodput division).
+    let past_knee_ok = ada[knee..]
+        .iter()
+        .zip(&obl[knee..])
+        .all(|(a, o)| a.1 >= o.1 * (1.0 - 1e-9));
+    let (kx, ky) = ada[knee];
+    out.push((
+        "x13: adaptive >= oblivious goodput past the collapse knee".into(),
+        past_knee_ok,
+        format!(
+            "adaptive knee {ky:.0} MB/s @ {kx:.1}; oblivious {:.0} MB/s there",
+            obl[knee].1
+        ),
     ));
 
     out

@@ -21,6 +21,9 @@
 //! * [`traffic`] — the heavy-traffic scenario engine: offered-load
 //!   sweeps of multi-tenant message streams through the network
 //!   fabrics, with faults injected under load (experiment X12).
+//! * [`hierarchy`] — the 1024-node hierarchical permutation network
+//!   under offered load, adaptive vs oblivious routing vs the 8x8
+//!   mesh (experiment X13).
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 //! ```
 
 pub mod experiments;
+pub mod hierarchy;
 pub mod hintrun;
 pub mod matmultrun;
 pub mod observability;

@@ -86,6 +86,9 @@ pub enum ScenarioTopology {
     Cluster8Xbar,
     /// A 4x4 2D mesh from the same parts (one plane, XY routing).
     Mesh4x4,
+    /// An 8x8 2D mesh: the mesh alternative scaled to 64 nodes, the
+    /// fair design-study opponent for the 1024-node hierarchy of X13.
+    Mesh8x8,
 }
 
 impl ScenarioTopology {
@@ -94,6 +97,7 @@ impl ScenarioTopology {
         match self {
             ScenarioTopology::Cluster8Xbar => 8,
             ScenarioTopology::Mesh4x4 => 16,
+            ScenarioTopology::Mesh8x8 => 64,
         }
     }
 
@@ -101,7 +105,7 @@ impl ScenarioTopology {
     pub fn planes(self) -> u32 {
         match self {
             ScenarioTopology::Cluster8Xbar => 2,
-            ScenarioTopology::Mesh4x4 => 1,
+            ScenarioTopology::Mesh4x4 | ScenarioTopology::Mesh8x8 => 1,
         }
     }
 
@@ -352,6 +356,9 @@ impl Fabric {
             ScenarioTopology::Mesh4x4 => {
                 Fabric::Mesh(Mesh::new(MeshConfig::powermanna_parts(4, 4)))
             }
+            ScenarioTopology::Mesh8x8 => {
+                Fabric::Mesh(Mesh::new(MeshConfig::powermanna_parts(8, 8)))
+            }
         }
     }
 
@@ -363,10 +370,10 @@ impl Fabric {
                 .open_with_failover(src as usize, dst as usize, plane, t)
                 .ok()
                 .map(|(c, fo)| (Conn::Xbar(c), fo.failed_over, fo.rerouted)),
-            Fabric::Mesh(mesh) => mesh
-                .open(src, dst, t)
-                .ok()
-                .map(|c| (Conn::Mesh(c), false, false)),
+            Fabric::Mesh(mesh) => mesh.open(src, dst, t).ok().map(|c| {
+                let rerouted = c.rerouted();
+                (Conn::Mesh(c), false, rerouted)
+            }),
         }
     }
 
@@ -462,7 +469,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, mut reg: Option<&mut MetricRegistry>) 
         .map(|p| p.schedule().to_vec())
         .unwrap_or_default();
     assert!(
-        schedule.is_empty() || cfg.topology != ScenarioTopology::Mesh4x4,
+        schedule.is_empty() || cfg.topology == ScenarioTopology::Cluster8Xbar,
         "scheduled link deaths are crossbar-only; the mesh takes transient faults"
     );
     let mut next_down = 0;
@@ -557,11 +564,19 @@ pub fn run_scenario(cfg: &ScenarioConfig, mut reg: Option<&mut MetricRegistry>) 
             outcome.publish_to(r, &h.net);
         }
 
+        // A worm can be corrupted AND late; it is dropped exactly once,
+        // with the late flag telling the truth about its timing either
+        // way. (Before this, a corrupted-and-late worm skipped the late
+        // ledger entirely; and had the two branches each dropped, its
+        // bytes would have been double-counted — the property test
+        // `corrupted_and_late_worms_drop_exactly_once` forces the
+        // overlap.)
+        let late = outcome.finished > deadline_at;
         if !intact {
-            drop_message(&mut report, &mut reg, false);
+            drop_message(&mut report, &mut reg, late);
             continue;
         }
-        if outcome.finished > deadline_at {
+        if late {
             // Served to completion — a committed worm cannot be
             // retracted — but past its sojourn budget: full fabric
             // capacity burned for a message that no longer counts.

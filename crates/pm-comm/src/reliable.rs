@@ -417,6 +417,12 @@ impl ResilientNetwork {
                 Err(RouteError::NoPath | RouteError::NoHealthyPath) => {
                     return Err(DeliveryError::Unreachable { src, dst });
                 }
+                Err(RouteError::PortHeld) => {
+                    // Contention, not partition: back off like a NACK and
+                    // burn an attempt waiting for the blocker to close.
+                    attempt_start += self.policy.gap_after(attempt);
+                    continue;
+                }
             };
             if outcome.failed_over {
                 self.stats.failovers += 1;

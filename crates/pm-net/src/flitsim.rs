@@ -99,6 +99,39 @@ impl FlitSimResult {
             .sum();
         clean as f64 / self.finished_at.as_secs_f64() / 1e6
     }
+
+    /// On-time goodput over the makespan, in Mbyte/s: a worm counts only
+    /// if it is *clean* (its `corrupted` flag from
+    /// [`FlitSim::run_with_faults`] is clear) AND its last byte left
+    /// within `deadline` of its injection. A worm that is both corrupted
+    /// and late is excluded exactly once — the two fates overlap on the
+    /// same packet without double-discounting its payload (forced by the
+    /// `corrupted_and_late_worms_drop_exactly_once` property test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corrupted` and `packets` disagree in length with the
+    /// simulated batch.
+    pub fn on_time_goodput_mbs(
+        &self,
+        packets: &[Packet],
+        corrupted: &[bool],
+        deadline: Duration,
+    ) -> f64 {
+        assert_eq!(packets.len(), self.completions.len(), "batch mismatch");
+        assert_eq!(corrupted.len(), packets.len(), "flag mismatch");
+        if self.finished_at == Time::ZERO {
+            return 0.0;
+        }
+        let on_time: u64 = packets
+            .iter()
+            .zip(corrupted)
+            .zip(&self.completions)
+            .filter(|((p, &bad), &done)| !bad && done <= p.inject_at + deadline)
+            .map(|((p, _), _)| p.payload as u64)
+            .sum();
+        on_time as f64 / self.finished_at.as_secs_f64() / 1e6
+    }
 }
 
 /// A reusable wormhole-crossbar simulator.
@@ -290,8 +323,7 @@ impl FlitSim {
         let mut cursor = 0;
         while cursor < self.order.len() {
             let at = packets[self.order[cursor]].inject_at;
-            if self.queue.peek_due().is_some_and(|d| d < at) {
-                let (now, idx) = self.queue.pop().expect("peeked event pops");
+            if let Some((now, idx)) = self.queue.pop_if_before(at) {
                 self.on_done(packets, idx, now, bp);
             } else {
                 let idx = self.order[cursor];

@@ -14,6 +14,9 @@
 //!   permutation networks (Figure 5b).
 //! * [`network`] — connection-level simulation over a topology: open a
 //!   wormhole connection, stream bytes at link rate, close.
+//! * [`routesim`] — flit-level wormhole simulation of whole routes
+//!   (up to three crossbars) with oblivious or adaptive path choice,
+//!   scaled for 1000+ simultaneous worms on the 1024-node hierarchy.
 //! * [`fault`] — seeded, deterministic fault plans: transient flit
 //!   corruption and scheduled permanent link deaths, driving the
 //!   duplicated-network failover in [`network`] and the rerouting in
@@ -41,6 +44,7 @@ pub mod flitsim;
 pub mod mesh;
 pub mod network;
 pub mod outcome;
+pub mod routesim;
 pub mod stopwire;
 pub mod topology;
 pub mod transceiver;
@@ -54,6 +58,7 @@ pub use flitsim::{FlitSimResult, Packet};
 pub use mesh::{Mesh, MeshConfig, MeshError};
 pub use network::{Connection, FailoverOutcome, Network, RouteBackpressure, RouteError};
 pub use outcome::{OutcomeHandles, TransferOutcome};
+pub use routesim::{RoutePolicy, RouteSim, RouteSimResult, Worm};
 pub use stopwire::{RouteFlowStats, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
 pub use topology::{LinkKey, LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};

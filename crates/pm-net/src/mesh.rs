@@ -125,6 +125,10 @@ pub struct MeshConnection {
     ready_at: Time,
     byte_time: Duration,
     head_latency: Duration,
+    /// Whether the open abandoned the XY path for a BFS detour. Stamped
+    /// into every [`TransferOutcome`] so a recount of published
+    /// outcomes reconciles bit-exact with [`Mesh::reroutes`].
+    rerouted: bool,
     closed: bool,
     bytes: u64,
 }
@@ -325,11 +329,12 @@ impl Mesh {
             return Err(MeshError::SelfConnection { node: src });
         }
         let mut path = self.xy_path(src, dst);
+        let mut rerouted = false;
         if self.path_is_dead(&path) {
             path = self
                 .bfs_path(src, dst)
                 .ok_or(MeshError::Unreachable { src, dst })?;
-            self.reroutes += 1;
+            rerouted = true;
         }
         let mut cursor = t;
         let mut claimed: Vec<(usize, Time)> = Vec::with_capacity(path.len());
@@ -357,11 +362,18 @@ impl Mesh {
             self.free_at[idx] = Time::MAX;
         }
         self.opens += 1;
+        // Count the detour only now that the open has succeeded: an open
+        // that dies on a held link mid-claim produced no rerouted
+        // connection, and counting it would drift `reroutes()` away from
+        // the recount of per-connection outcomes (see
+        // `tests/observability.rs`).
+        self.reroutes += u64::from(rerouted);
         let head_latency = self.config.wire.latency * path.len() as u64;
         Ok(MeshConnection {
             ready_at: cursor,
             byte_time: self.config.wire.byte_time,
             head_latency,
+            rerouted,
             path,
             closed: false,
             bytes: 0,
@@ -400,6 +412,12 @@ impl MeshConnection {
         self.path.len()
     }
 
+    /// Whether the open abandoned the XY path for a BFS detour around
+    /// dead links.
+    pub fn rerouted(&self) -> bool {
+        self.rerouted
+    }
+
     /// Streams `bytes` starting at `start`; the returned
     /// [`TransferOutcome::finished`] is the last-byte arrival. The mesh
     /// has a single plane, reported as plane 0.
@@ -412,12 +430,14 @@ impl MeshConnection {
         let begin = start.max(self.ready_at);
         self.bytes += bytes;
         let source_released = begin + self.byte_time * bytes;
-        TransferOutcome::streamed(
+        let mut outcome = TransferOutcome::streamed(
             source_released + self.head_latency,
             source_released,
             bytes,
             0,
-        )
+        );
+        outcome.rerouted = self.rerouted;
+        outcome
     }
 
     /// Streams `bytes` under end-to-end stop-wire flow control: every
@@ -442,6 +462,7 @@ impl MeshConnection {
         self.bytes += bytes;
         if bytes == 0 {
             let mut outcome = TransferOutcome::streamed(begin + self.head_latency, begin, 0, 0);
+            outcome.rerouted = self.rerouted;
             outcome.per_segment = vec![StopWireStats::default(); self.path.len()];
             return outcome;
         }
@@ -455,6 +476,7 @@ impl MeshConnection {
             bytes,
             0,
         );
+        outcome.rerouted = self.rerouted;
         outcome.stop_transitions = flow.stop_transitions;
         outcome.stalled_ticks = flow.stalled_ticks;
         outcome.per_segment = flow.per_segment;

@@ -25,6 +25,12 @@ pub enum RouteError {
     /// A path exists in the topology, but every candidate crosses a dead
     /// link — the fault plan partitioned the requested plane(s).
     NoHealthyPath,
+    /// A healthy path exists, but one of its crossbar outputs is held by
+    /// a connection that is still open. The open claimed *nothing* —
+    /// retry after the blocking connection closes. Before this variant,
+    /// a held output mid-route panicked after earlier hops had already
+    /// been claimed, leaking those claims.
+    PortHeld,
 }
 
 impl core::fmt::Display for RouteError {
@@ -33,6 +39,9 @@ impl core::fmt::Display for RouteError {
             RouteError::NoPath => f.write_str("no path between the nodes on this plane"),
             RouteError::NoHealthyPath => {
                 f.write_str("every path between the nodes crosses a dead link")
+            }
+            RouteError::PortHeld => {
+                f.write_str("a crossbar output on the route is held by an open connection")
             }
         }
     }
@@ -216,9 +225,11 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`RouteError::NoPath`] if the nodes are not connected on
-    /// the plane, or [`RouteError::NoHealthyPath`] if they are but every
+    /// the plane, [`RouteError::NoHealthyPath`] if they are but every
     /// path crosses a link a fault plan has killed
-    /// ([`Network::fail_link`]).
+    /// ([`Network::fail_link`]), or [`RouteError::PortHeld`] if the
+    /// route exists but a crossbar output on it is still held by an
+    /// open connection (nothing is claimed in that case).
     pub fn open(
         &mut self,
         src: NodeId,
@@ -230,11 +241,65 @@ impl Network {
             .topology
             .route_avoiding(src, dst, plane, &self.dead_links)
         {
-            Some(route) => Ok(self.establish(route, t)),
+            Some(route) => self.try_establish(route, t),
             None if self.topology.route(src, dst, plane).is_some() => {
                 Err(RouteError::NoHealthyPath)
             }
             None => Err(RouteError::NoPath),
+        }
+    }
+
+    /// Opens a connection on `plane`, choosing adaptively among the
+    /// equivalent permutation-network paths
+    /// ([`Topology::equivalent_routes`]): candidates whose outputs are
+    /// held by open connections are skipped, and the rest are ranked by
+    /// the sum of per-port conflict counters
+    /// ([`Crossbar::port_conflicts`]) along the route — the
+    /// least-contended live path wins, ties broken in deterministic
+    /// port order (which makes the policy degrade to oblivious routing
+    /// on an idle network).
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`Network::open`]; [`RouteError::PortHeld`]
+    /// means *every* equivalent path is blocked by a held output.
+    pub fn open_adaptive(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        plane: u32,
+        t: Time,
+    ) -> Result<Connection, RouteError> {
+        let candidates = self
+            .topology
+            .equivalent_routes(src, dst, plane, &self.dead_links);
+        if candidates.is_empty() {
+            return Err(if self.topology.route(src, dst, plane).is_some() {
+                RouteError::NoHealthyPath
+            } else {
+                RouteError::NoPath
+            });
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for (i, r) in candidates.iter().enumerate() {
+            if r.hops
+                .iter()
+                .any(|h| self.crossbars[h.xbar].is_held(h.out_port))
+            {
+                continue;
+            }
+            let score: u64 = r
+                .hops
+                .iter()
+                .map(|h| self.crossbars[h.xbar].port_conflicts(h.out_port))
+                .sum();
+            if best.is_none_or(|(s, _)| score < s) {
+                best = Some((score, i));
+            }
+        }
+        match best {
+            Some((_, i)) => self.try_establish(candidates.into_iter().nth(i).expect("in range"), t),
+            None => Err(RouteError::PortHeld),
         }
     }
 
@@ -247,7 +312,10 @@ impl Network {
     ///
     /// [`RouteError::NoHealthyPath`] if both planes are partitioned by
     /// dead links; [`RouteError::NoPath`] if no path exists even on a
-    /// fault-free topology.
+    /// fault-free topology; [`RouteError::PortHeld`] if a healthy route
+    /// exists but every plane's candidate is blocked by a held crossbar
+    /// output (a held preferred plane fails over to the other plane just
+    /// like a dead one).
     ///
     /// # Panics
     ///
@@ -261,6 +329,7 @@ impl Network {
     ) -> Result<(Connection, FailoverOutcome), RouteError> {
         assert!(preferred_plane < 2, "planes are 0 and 1");
         let mut saw_unhealthy = false;
+        let mut saw_held = false;
         for (i, plane) in [preferred_plane, 1 - preferred_plane]
             .into_iter()
             .enumerate()
@@ -280,14 +349,19 @@ impl Network {
                         failed_over: i == 1,
                         rerouted,
                     };
-                    return Ok((self.establish(route, t), outcome));
+                    match self.try_establish(route, t) {
+                        Ok(conn) => return Ok((conn, outcome)),
+                        Err(_) => saw_held = true,
+                    }
                 }
                 None => {
                     saw_unhealthy |= self.topology.route(src, dst, plane).is_some();
                 }
             }
         }
-        Err(if saw_unhealthy {
+        Err(if saw_held {
+            RouteError::PortHeld
+        } else if saw_unhealthy {
             RouteError::NoHealthyPath
         } else {
             RouteError::NoPath
@@ -295,9 +369,19 @@ impl Network {
     }
 
     /// Claims every crossbar output on `route` and builds the
-    /// connection (the shared tail of [`Network::open`] and
-    /// [`Network::open_with_failover`]).
-    fn establish(&mut self, route: Route, t: Time) -> Connection {
+    /// connection (the shared tail of every `open` flavour). The claim
+    /// is all-or-nothing: outputs are checked *before* any hop routes,
+    /// so a held output mid-route returns [`RouteError::PortHeld`]
+    /// having claimed nothing — no partially-opened route ever leaks
+    /// port claims for a later open to trip over.
+    fn try_establish(&mut self, route: Route, t: Time) -> Result<Connection, RouteError> {
+        if route
+            .hops
+            .iter()
+            .any(|h| self.crossbars[h.xbar].is_held(h.out_port))
+        {
+            return Err(RouteError::PortHeld);
+        }
         let byte_time = WireConfig::synchronous().byte_time;
 
         let mut head_latency = Duration::ZERO;
@@ -322,14 +406,14 @@ impl Network {
         // Pinned by `open_then_immediate_transfer_charges_propagation_once`.
         let ready_at = cursor;
 
-        Connection {
+        Ok(Connection {
             route,
             ready_at,
             head_latency,
             byte_time,
             closed: false,
             bytes: 0,
-        }
+        })
     }
 }
 
@@ -725,6 +809,72 @@ mod tests {
             .fail_link(LinkRef::XbarPort { xbar: 0, port: 15 })
             .is_none());
         assert_eq!(net.dead_links(), 0);
+    }
+
+    #[test]
+    fn held_output_mid_route_fails_cleanly_without_leaking_claims() {
+        // Regression: a held output on hop 2 of a 3-crossbar route used
+        // to panic *after* hop 1 had already been claimed, leaking the
+        // claim. The open must now claim nothing and report PortHeld.
+        let mut net = Network::new(Topology::system256());
+        let a = net.open(0, 127, 0, Time::ZERO).unwrap();
+        let routes_before: u64 = (0..net.topology().crossbars())
+            .map(|x| net.crossbar(x).routes())
+            .sum();
+        // Node 1 shares node 0's cluster crossbar; the oblivious route
+        // to 126 wants the same first uplink and middle crossbar.
+        let blocked = net.open(1, 126, 0, Time::ZERO);
+        assert_eq!(blocked.unwrap_err(), RouteError::PortHeld);
+        let routes_after: u64 = (0..net.topology().crossbars())
+            .map(|x| net.crossbar(x).routes())
+            .sum();
+        assert_eq!(routes_before, routes_after, "failed open claimed a port");
+        // Only the first connection's three outputs are held.
+        let held: usize = (0..net.topology().crossbars())
+            .map(|x| {
+                let ports = net.topology().crossbar_config(x).ports;
+                (0..ports).filter(|&p| net.crossbar(x).is_held(p)).count()
+            })
+            .sum();
+        assert_eq!(held, a.route().crossbars());
+        // Once the blocker closes, the same open succeeds.
+        let mut a = a;
+        a.close(&mut net, Time::ZERO + Duration::from_us(1));
+        net.open(1, 126, 0, Time::ZERO).expect("route freed");
+    }
+
+    #[test]
+    fn open_adaptive_detours_around_held_uplinks() {
+        let mut net = Network::new(Topology::system256());
+        let a = net.open_adaptive(0, 127, 0, Time::ZERO).unwrap();
+        // The oblivious route for 1 -> 126 collides with `a` on the
+        // first uplink; the adaptive open must pick another middle.
+        let b = net.open_adaptive(1, 126, 0, Time::ZERO).expect("8 middles");
+        assert_eq!(b.route().crossbars(), 3);
+        assert_ne!(a.route().hops[1].xbar, b.route().hops[1].xbar);
+        // On an idle network the adaptive choice degrades to the
+        // oblivious one.
+        let mut idle = Network::new(Topology::system256());
+        let oblivious = idle.open(0, 127, 0, Time::ZERO).unwrap();
+        let mut idle2 = Network::new(Topology::system256());
+        let adaptive = idle2.open_adaptive(0, 127, 0, Time::ZERO).unwrap();
+        assert_eq!(oblivious.route(), adaptive.route());
+    }
+
+    #[test]
+    fn held_preferred_plane_fails_over_like_a_dead_one() {
+        let mut net = Network::new(Topology::two_nodes());
+        let _a = net.open(0, 1, 0, Time::ZERO).unwrap();
+        let (b, outcome) = net.open_with_failover(0, 1, 0, Time::ZERO).unwrap();
+        assert!(outcome.failed_over);
+        assert_eq!(outcome.plane, 1);
+        assert_eq!(b.route().plane, 1);
+        // With both planes held, the error is PortHeld — not a panic,
+        // and not misreported as a partition.
+        assert_eq!(
+            net.open_with_failover(0, 1, 0, Time::ZERO).unwrap_err(),
+            RouteError::PortHeld
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@ use crate::crossbar::CrossbarConfig;
 use crate::stopwire::StopWireConfig;
 use std::collections::{HashMap, HashSet, VecDeque};
 
+/// The paper's path-length guarantee: "a logical connection between any
+/// two nodes involves at most only three crossbars". Routing never
+/// returns a longer path — a detour that would need a fourth crossbar
+/// is reported as unroutable instead, so failover falls back to the
+/// other plane rather than silently violating the bound.
+pub const MAX_ROUTE_CROSSBARS: usize = 3;
+
 /// Index of a node in a topology.
 pub type NodeId = usize;
 /// Index of a crossbar in a topology.
@@ -240,6 +247,13 @@ impl Topology {
         self.xbar_configs[xbar]
     }
 
+    /// The endpoint and link kind on the far side of crossbar `xbar`
+    /// port `port`, or `None` if the port is unconnected. This is the
+    /// raw adjacency the route simulator compiles into its flat tables.
+    pub fn port_peer(&self, xbar: XbarId, port: u32) -> Option<(Endpoint, LinkKind)> {
+        self.xbar_ports.get(&(xbar, port)).copied()
+    }
+
     /// Canonical [`LinkKey`] of the link attached to crossbar `xbar`
     /// port `port`, or `None` if the port is unconnected.
     pub fn canonical_link_key(&self, xbar: XbarId, port: u32) -> Option<LinkKey> {
@@ -292,7 +306,9 @@ impl Topology {
     /// crossbar↔crossbar link, and a dead node link makes the whole
     /// plane unusable for that endpoint. Deterministic for a fixed
     /// topology (ports are scanned in index order), so a given dead set
-    /// always yields the same detour.
+    /// always yields the same detour. Paths are hard-bounded at
+    /// [`MAX_ROUTE_CROSSBARS`]: a detour that would need a fourth
+    /// crossbar returns `None` rather than an overlong route.
     pub fn route_avoiding(
         &self,
         src: NodeId,
@@ -309,20 +325,24 @@ impl Topology {
             return None;
         }
 
-        // BFS over (xbar, entry port).
+        // BFS over (xbar, entry port), depth-bounded to the paper's
+        // three-crossbar guarantee.
         let mut prev: HashMap<XbarId, (XbarId, u32, u32, LinkKind)> = HashMap::new();
         let mut visited = vec![false; self.xbar_configs.len()];
         let mut queue = VecDeque::new();
         visited[first_xbar] = true;
-        queue.push_back((first_xbar, first_port));
+        queue.push_back((first_xbar, first_port, 1usize));
         let mut entry_port: HashMap<XbarId, u32> = HashMap::new();
         entry_port.insert(first_xbar, first_port);
 
         let mut found = first_xbar == dst_xbar;
-        while let Some((x, _in_port)) = queue.pop_front() {
+        while let Some((x, _in_port, depth)) = queue.pop_front() {
             if x == dst_xbar {
                 found = true;
                 break;
+            }
+            if depth >= MAX_ROUTE_CROSSBARS {
+                continue;
             }
             for p in 0..self.xbar_configs[x].ports {
                 if let Some(&(Endpoint::Xbar { xbar: nx, port: np }, kind)) =
@@ -335,7 +355,7 @@ impl Topology {
                         visited[nx] = true;
                         prev.insert(nx, (x, p, np, kind));
                         entry_port.insert(nx, np);
-                        queue.push_back((nx, np));
+                        queue.push_back((nx, np, depth + 1));
                     }
                 }
             }
@@ -409,17 +429,58 @@ impl Topology {
     /// every middle crossbar reaching every cluster over an asynchronous
     /// dual-link. Any route crosses at most three crossbars.
     pub fn system256() -> Self {
-        const CLUSTERS: usize = 16;
-        let mut t = Topology::with_nodes(CLUSTERS * 8);
+        Self::hierarchical(4, 4, 16)
+    }
+
+    /// A 1024-node hierarchy that scales the paper's Figure 5b scheme
+    /// past its largest configuration: a 16x8 grid of eight-node
+    /// clusters joined by eight middle crossbars per plane, still at
+    /// most three crossbars on any path.
+    pub fn system1024() -> Self {
+        Self::hierarchical(16, 8, 16)
+    }
+
+    /// Parameterized Clos-like permutation-network hierarchy: a
+    /// `rows x cols` grid of clusters built from `ports`-port crossbars.
+    /// Each cluster hosts `ports / 2` nodes per plane on its cluster
+    /// crossbar's low ports; the high ports fan out as asynchronous
+    /// uplinks to `ports / 2` middle crossbars per plane, each of which
+    /// reaches every cluster (one port per cluster). Any route crosses
+    /// at most [`MAX_ROUTE_CROSSBARS`] crossbars: cluster-xbar →
+    /// middle-xbar → cluster-xbar, exactly the paper's Figure 5b scheme
+    /// generalized. `system256()` is `hierarchical(4, 4, 16)`;
+    /// `system1024()` is `hierarchical(16, 8, 16)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols == 0` or `ports` is odd or zero.
+    pub fn hierarchical(rows: usize, cols: usize, ports: u32) -> Self {
+        let clusters = rows * cols;
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(
+            ports >= 2 && ports.is_multiple_of(2),
+            "cluster crossbars split ports evenly between nodes and uplinks"
+        );
+        let per = (ports / 2) as usize;
+        let mut t = Topology::with_nodes(clusters * per);
+        let cluster_cfg = CrossbarConfig {
+            ports,
+            ..CrossbarConfig::powermanna()
+        };
+        // Middle crossbars need exactly one port per cluster.
+        let middle_cfg = CrossbarConfig {
+            ports: clusters as u32,
+            ..CrossbarConfig::powermanna()
+        };
         // Per cluster, per plane: one cluster crossbar.
-        let mut cluster_xbar = vec![[0usize; 2]; CLUSTERS];
+        let mut cluster_xbar = vec![[0usize; 2]; clusters];
         for (c, xb) in cluster_xbar.iter_mut().enumerate() {
             for (plane, slot) in xb.iter_mut().enumerate() {
-                let x = t.add_crossbar(CrossbarConfig::powermanna());
+                let x = t.add_crossbar(cluster_cfg);
                 *slot = x;
-                for local in 0..8 {
+                for local in 0..per {
                     t.connect_node(
-                        c * 8 + local,
+                        c * per + local,
                         plane as u32,
                         x,
                         local as u32,
@@ -428,17 +489,150 @@ impl Topology {
                 }
             }
         }
-        // Per plane: 8 middle crossbars, each with one port per cluster.
+        // Per plane: `per` middle crossbars, each with one port per
+        // cluster, hung off the cluster crossbars' free high ports.
         for plane in 0..2 {
-            for m in 0..8u32 {
-                let mid = t.add_crossbar(CrossbarConfig::powermanna());
+            for m in 0..per as u32 {
+                let mid = t.add_crossbar(middle_cfg);
                 for (c, xb) in cluster_xbar.iter().enumerate() {
-                    // Cluster crossbar free ports are 8..16.
-                    t.connect_xbars(xb[plane], 8 + m, mid, c as u32, LinkKind::Asynchronous);
+                    t.connect_xbars(
+                        xb[plane],
+                        per as u32 + m,
+                        mid,
+                        c as u32,
+                        LinkKind::Asynchronous,
+                    );
                 }
             }
         }
         t
+    }
+
+    /// Every minimal-length route from `src` to `dst` on `plane` that
+    /// stays within [`MAX_ROUTE_CROSSBARS`] and avoids `dead` links, in
+    /// deterministic port order. On the hierarchical systems this
+    /// enumerates the equivalent paths through each live middle
+    /// crossbar — the choice set the adaptive router scores with the
+    /// per-port conflict counters. Falls back over path lengths: if any
+    /// one-crossbar route exists only those are returned, else
+    /// two-crossbar routes, else three.
+    pub fn equivalent_routes(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        plane: u32,
+        dead: &HashSet<LinkKey>,
+    ) -> Vec<Route> {
+        let mut out = Vec::new();
+        if src == dst || src >= self.nodes || dst >= self.nodes || plane > 1 {
+            return out;
+        }
+        let Some((sx, sp, s_kind)) = self.node_links[src][plane as usize] else {
+            return out;
+        };
+        let Some((dx, dp, d_kind)) = self.node_links[dst][plane as usize] else {
+            return out;
+        };
+        if dead.contains(&(sx, sp)) || dead.contains(&(dx, dp)) {
+            return out;
+        }
+        // One crossbar: both endpoints on the same cluster crossbar.
+        if sx == dx {
+            out.push(Route {
+                src,
+                dst,
+                plane,
+                hops: vec![Hop {
+                    xbar: sx,
+                    in_port: sp,
+                    out_port: dp,
+                }],
+                segments: vec![s_kind, d_kind],
+            });
+            return out;
+        }
+        let live = |a: XbarId, ap: u32, b: XbarId, bp: u32| {
+            dead.is_empty() || !dead.contains(&(a, ap).min((b, bp)))
+        };
+        // Two crossbars: a direct link sx → dx.
+        for p in 0..self.xbar_configs[sx].ports {
+            if let Some(&(Endpoint::Xbar { xbar, port }, kind)) = self.xbar_ports.get(&(sx, p)) {
+                if xbar == dx && live(sx, p, xbar, port) {
+                    out.push(Route {
+                        src,
+                        dst,
+                        plane,
+                        hops: vec![
+                            Hop {
+                                xbar: sx,
+                                in_port: sp,
+                                out_port: p,
+                            },
+                            Hop {
+                                xbar: dx,
+                                in_port: port,
+                                out_port: dp,
+                            },
+                        ],
+                        segments: vec![s_kind, kind, d_kind],
+                    });
+                }
+            }
+        }
+        if !out.is_empty() {
+            return out;
+        }
+        // Three crossbars: sx → middle → dx, one candidate per live
+        // middle crossbar that reaches both endpoints.
+        for p in 0..self.xbar_configs[sx].ports {
+            let Some(&(
+                Endpoint::Xbar {
+                    xbar: mid,
+                    port: mp,
+                },
+                up_kind,
+            )) = self.xbar_ports.get(&(sx, p))
+            else {
+                continue;
+            };
+            if !live(sx, p, mid, mp) {
+                continue;
+            }
+            for q in 0..self.xbar_configs[mid].ports {
+                let Some(&(Endpoint::Xbar { xbar, port }, down_kind)) =
+                    self.xbar_ports.get(&(mid, q))
+                else {
+                    continue;
+                };
+                if xbar != dx || !live(mid, q, xbar, port) {
+                    continue;
+                }
+                out.push(Route {
+                    src,
+                    dst,
+                    plane,
+                    hops: vec![
+                        Hop {
+                            xbar: sx,
+                            in_port: sp,
+                            out_port: p,
+                        },
+                        Hop {
+                            xbar: mid,
+                            in_port: mp,
+                            out_port: q,
+                        },
+                        Hop {
+                            xbar: dx,
+                            in_port: port,
+                            out_port: dp,
+                        },
+                    ],
+                    segments: vec![s_kind, up_kind, down_kind, d_kind],
+                });
+            }
+        }
+        out
     }
 }
 
@@ -602,6 +796,75 @@ mod tests {
         assert!(t.route_avoiding(0, 1, 0, &dead).is_none());
         // The other plane is untouched.
         assert!(t.route_avoiding(0, 1, 1, &dead).is_some());
+    }
+
+    #[test]
+    fn system1024_has_1024_nodes_within_three_crossbars() {
+        let t = Topology::system1024();
+        assert_eq!(t.nodes(), 1024);
+        // 128 clusters x 2 planes + 8 middle x 2 planes = 272.
+        assert_eq!(t.crossbars(), 272);
+        for &(a, b) in &[(0usize, 1023usize), (0, 8), (511, 512), (100, 900)] {
+            for plane in 0..2 {
+                let r = t.route(a, b, plane).expect("route");
+                assert!(r.crossbars() <= MAX_ROUTE_CROSSBARS);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_4_4_16_matches_system256() {
+        let a = Topology::hierarchical(4, 4, 16);
+        let b = Topology::system256();
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.crossbars(), b.crossbars());
+        assert_eq!(a.route(3, 77, 1), b.route(3, 77, 1));
+    }
+
+    #[test]
+    fn equivalent_routes_enumerate_every_live_middle() {
+        let t = Topology::system256();
+        let routes = t.equivalent_routes(0, 127, 0, &HashSet::new());
+        // One candidate per middle crossbar on plane 0.
+        assert_eq!(routes.len(), 8);
+        let mut middles = HashSet::new();
+        for r in &routes {
+            assert_eq!(r.crossbars(), 3);
+            assert!(middles.insert(r.hops[1].xbar), "distinct middles");
+            // Endpoints are fixed; only the middle varies.
+            assert_eq!(r.hops[0].in_port, t.node_link_key(0, 0).unwrap().1);
+            assert_eq!(r.hops[2].out_port, t.node_link_key(127, 0).unwrap().1);
+        }
+        // Killing one uplink removes exactly that candidate.
+        let dead: HashSet<LinkKey> = [t
+            .canonical_link_key(routes[0].hops[0].xbar, routes[0].hops[0].out_port)
+            .unwrap()]
+        .into_iter()
+        .collect();
+        assert_eq!(t.equivalent_routes(0, 127, 0, &dead).len(), 7);
+        // Intra-cluster pairs have exactly one (one-crossbar) candidate.
+        let local = t.equivalent_routes(0, 7, 0, &HashSet::new());
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0], t.route(0, 7, 0).unwrap());
+    }
+
+    #[test]
+    fn detour_longer_than_three_crossbars_is_rejected() {
+        // A four-crossbar chain: reaching node 1 needs four hops, which
+        // exceeds the paper bound — routing must refuse, not comply.
+        let mut t = Topology::with_nodes(2);
+        let xs: Vec<_> = (0..4)
+            .map(|_| t.add_crossbar(CrossbarConfig::powermanna()))
+            .collect();
+        t.connect_node(0, 0, xs[0], 0, LinkKind::Synchronous);
+        t.connect_node(1, 0, xs[3], 0, LinkKind::Synchronous);
+        for w in xs.windows(2) {
+            t.connect_xbars(w[0], 8, w[1], 9, LinkKind::Asynchronous);
+        }
+        assert!(
+            t.route(0, 1, 0).is_none(),
+            "4-crossbar path must be refused"
+        );
     }
 
     #[test]

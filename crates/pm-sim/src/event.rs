@@ -164,6 +164,22 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.due)
     }
 
+    /// Removes and returns the earliest event only if it is due strictly
+    /// before `limit`. This is the merge primitive for simulators that
+    /// keep their (fully known) arrival schedule in a sorted cursor
+    /// outside the heap: the heap then only ever holds in-flight events,
+    /// and each merge step either pops one of those or admits the next
+    /// arrival — arrivals win ties, matching the event order of an
+    /// all-events-in-one-heap formulation where arrivals were scheduled
+    /// first.
+    pub fn pop_if_before(&mut self, limit: Time) -> Option<(Time, E)> {
+        if self.peek_due().is_some_and(|d| d < limit) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -288,6 +304,20 @@ mod tests {
         q.clear();
         let replay = run(&mut q);
         assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn pop_if_before_lets_arrivals_win_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ps(10), 'c');
+        // An arrival at the same instant takes precedence: strictly-
+        // before means the completion stays queued.
+        assert_eq!(q.pop_if_before(Time::from_ps(10)), None);
+        assert_eq!(
+            q.pop_if_before(Time::from_ps(11)),
+            Some((Time::from_ps(10), 'c'))
+        );
+        assert_eq!(q.pop_if_before(Time::from_ps(1_000)), None);
     }
 
     #[test]

@@ -113,3 +113,43 @@ fn traffic_metrics_hot_path_stays_cheap() {
         "scenario costs {scenario:?}/message with metrics on — X12 full runs would crawl"
     );
 }
+
+/// The X13 hot path's contract: a reused [`RouteSim`] replays a full
+/// 1024-worm permutation batch touching only its pooled arenas — no
+/// per-route `Vec`, no per-run adjacency rebuild. The budget is ~20x
+/// the measured cost of the event loop itself, so a smuggled per-worm
+/// allocation (or accidentally re-compiling the 272-crossbar topology
+/// per run) still trips it.
+///
+/// [`RouteSim`]: powermanna::net::routesim::RouteSim
+#[test]
+fn routesim_hot_path_keeps_1024_worms_feasible() {
+    use powermanna::machine::hierarchy::x13_hot_path_worms;
+    use powermanna::net::routesim::{RoutePolicy, RouteSim};
+
+    let worms = x13_hot_path_worms();
+    let mut sim = RouteSim::new(&Topology::system1024());
+    // Warm-up also pins the semantic contract the timing rides on:
+    // the greedy adaptive matching keeps every worm in flight at once.
+    let warm = sim.run(&worms, RoutePolicy::Adaptive);
+    assert_eq!(
+        warm.peak_inflight, 1024,
+        "the permutation must stay perfect"
+    );
+
+    let mut r = Runner::new();
+    Runner::header("routesim 1024-worm hot-path guard");
+    r.bench("permutation_1024_reused", || {
+        black_box(
+            sim.run(black_box(&worms), RoutePolicy::Adaptive)
+                .finished_at,
+        )
+    });
+
+    let per_run = r.samples()[0].mean;
+    assert!(
+        per_run < Duration::from_millis(20),
+        "a pooled 1024-worm batch costs {per_run:?}/run — did the route arena regrow \
+         per-worm allocations?"
+    );
+}

@@ -70,7 +70,10 @@ fn network_stall_bytes_reconcile_with_outcomes() {
 
 /// The same reconciliation holds on the §6 mesh, rerouting included:
 /// `mesh/reroutes` equals the number of outcomes that reported a
-/// detour, and the byte/stall sums match.
+/// detour, equals [`Mesh::reroutes`]'s own ledger — bit-exact — and the
+/// byte/stall sums match.
+///
+/// [`Mesh::reroutes`]: powermanna::net::mesh::Mesh::reroutes
 #[test]
 fn mesh_outcomes_reconcile_with_registry() {
     let mut rng = cases(2);
@@ -99,7 +102,56 @@ fn mesh_outcomes_reconcile_with_registry() {
         assert_eq!(reg.counter_value("mesh/bytes"), Some(bytes));
         assert_eq!(reg.counter_value("mesh/stalled_bytes"), Some(stalled));
         assert_eq!(reg.counter_value("mesh/reroutes"), Some(reroutes));
+        // The mesh's own ledger is the same number — a detour is counted
+        // exactly when a rerouted connection was handed out.
+        assert_eq!(mesh.reroutes(), reroutes);
     }
+}
+
+/// A detour that dies mid-open must not count as a reroute: the caller
+/// got no connection, so no outcome will ever report the detour, and an
+/// eager count would drift `Mesh::reroutes` away from the outcome
+/// recount. Forces the overlap deterministically: the only healthy path
+/// crosses a link held by an un-closed connection.
+///
+/// [`Mesh::reroutes`]: powermanna::net::mesh::Mesh::reroutes
+#[test]
+fn failed_mid_open_detour_does_not_count_as_a_reroute() {
+    let mut mesh = Mesh::new(MeshConfig::powermanna_parts(4, 4));
+    // 1→2's direct link is dead, so that pair must detour via BFS
+    // (E, W, S, N order): 1→5→6→2.
+    mesh.fail_link(1, 2);
+    // Hold 5→6 with an open connection whose close is not yet recorded.
+    let mut holder = mesh.open(5, 6, Time::ZERO).expect("direct XY path");
+    // The detour claims 1→5, then dies on the held 5→6 link.
+    let err = mesh.open(1, 2, Time::ZERO).expect_err("detour blocked");
+    assert!(
+        matches!(err, powermanna::net::mesh::MeshError::LinkHeld { .. }),
+        "expected LinkHeld, got {err:?}"
+    );
+    assert_eq!(
+        mesh.reroutes(),
+        0,
+        "a failed open handed out no rerouted connection"
+    );
+    // Once the holder closes, the same detour succeeds — and only now
+    // does the ledger (and the outcome) count it, keeping the two
+    // bit-equal.
+    let oh = holder.transfer(holder.ready_at(), 64);
+    holder.close(&mut mesh, oh.finished);
+    let mut conn = mesh.open(1, 2, oh.finished).expect("detour now opens");
+    let o = conn.transfer(conn.ready_at(), 256);
+    conn.close(&mut mesh, o.finished);
+    assert!(o.rerouted, "the successful open detoured");
+    assert_eq!(mesh.reroutes(), 1);
+    let mut reg = MetricRegistry::new();
+    o.publish(&mut reg, "mesh");
+    oh.publish(&mut reg, "mesh");
+    assert_eq!(
+        reg.counter_value("mesh/reroutes"),
+        Some(mesh.reroutes()),
+        "outcome recount and mesh ledger must be bit-equal"
+    );
 }
 
 /// The X8 scenario's registry-derived goodput is *bit-identical* to the

@@ -1110,3 +1110,142 @@ fn traffic_stream_is_byte_exact_per_seed() {
         assert_ne!(a, c, "{pattern:?}: a different seed must diverge");
     }
 }
+
+/// Every route the hierarchical permutation networks hand out respects
+/// the architectural bound: at most three crossbars between any pair of
+/// nodes, on both the 256-processor system and the scaled 1024-node
+/// hierarchy.
+#[test]
+fn hierarchical_routes_stay_within_three_crossbars() {
+    let mut rng = cases(44);
+    for topo in [Topology::system256(), Topology::system1024()] {
+        let nodes = topo.nodes();
+        for _ in 0..128 {
+            let src = rng.gen_range(0, nodes as u64) as usize;
+            let mut dst = rng.gen_range(0, nodes as u64) as usize;
+            if dst == src {
+                dst = (dst + 1) % nodes;
+            }
+            for plane in 0..2 {
+                let r = topo
+                    .route(src, dst, plane)
+                    .expect("hierarchy connects every pair on both planes");
+                assert!(
+                    r.crossbars() <= 3,
+                    "{src}->{dst} plane {plane}: {} crossbars",
+                    r.crossbars()
+                );
+            }
+        }
+    }
+}
+
+/// The duplicated planes share no hardware: for any pair, the plane-0
+/// and plane-1 routes traverse disjoint crossbar sets, so a whole-plane
+/// failure can never sever both.
+#[test]
+fn plane_routes_are_crossbar_disjoint() {
+    let mut rng = cases(45);
+    for topo in [Topology::system256(), Topology::system1024()] {
+        let nodes = topo.nodes();
+        for _ in 0..128 {
+            let src = rng.gen_range(0, nodes as u64) as usize;
+            let mut dst = rng.gen_range(0, nodes as u64) as usize;
+            if dst == src {
+                dst = (dst + 1) % nodes;
+            }
+            let r0 = topo.route(src, dst, 0).expect("plane-0 route");
+            let r1 = topo.route(src, dst, 1).expect("plane-1 route");
+            for h0 in &r0.hops {
+                for h1 in &r1.hops {
+                    assert_ne!(
+                        h0.xbar, h1.xbar,
+                        "{src}->{dst}: planes share crossbar {}",
+                        h0.xbar
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A worm that is both corrupted *and* late is dropped exactly once and
+/// counted in every ledger exactly once. The scenario pins a sojourn
+/// budget below the minimum service time (so every served worm is late)
+/// and a 0.9 transient rate (so most also corrupt out after the retry
+/// cap) — the overlap the drop path used to mishandle is the common
+/// case here, and byte conservation breaks if any message is dropped
+/// twice or skipped.
+#[test]
+fn corrupted_and_late_worms_drop_exactly_once() {
+    use powermanna::machine::traffic::{run_scenario, ScenarioConfig, ScenarioTopology};
+    use powermanna::net::fault::{FaultPlan, TransientInjector};
+    use powermanna::net::flitsim::{self, FlitSim};
+    use powermanna::net::CrossbarConfig;
+    use powermanna::workloads::traffic::TrafficPattern;
+
+    let mut rng = cases(46);
+    let mut late_total = 0u64;
+    let mut crc_total = 0u64;
+    for _ in 0..8 {
+        let seed = rng.next_u64();
+        let cfg = ScenarioConfig {
+            topology: ScenarioTopology::Cluster8Xbar,
+            pattern: TrafficPattern::Poisson,
+            tenants: 64,
+            messages: 200,
+            payload: 4096,
+            offered_load: 1.2,
+            // A 4096-byte worm needs ~68 us on the wire alone, so
+            // nothing served can be on time.
+            deadline: Duration::from_us_f64(30.0),
+            seed,
+            faults: Some(FaultPlan::clean(seed).with_transient_rate(0.9).unwrap()),
+        };
+        let report = run_scenario(&cfg, None);
+        assert!(
+            report.conserves_bytes(),
+            "byte conservation broke: {report:?}"
+        );
+        assert_eq!(
+            report.offered_messages,
+            report.delivered_messages + report.dropped_messages + report.inflight_messages,
+            "message conservation broke: {report:?}"
+        );
+        // Every served worm was late, so nothing is delivered or left
+        // in flight: all offered bytes drop, each exactly once.
+        assert_eq!(report.delivered_messages, 0);
+        assert_eq!(report.inflight_messages, 0);
+        assert_eq!(report.dropped_bytes, report.offered_bytes);
+        assert!(report.late_messages <= report.dropped_messages);
+        late_total += report.late_messages;
+        crc_total += report.crc_failures;
+    }
+    // The overlap actually occurred: worms were served late, and the
+    // injector corrupted attempts, in the same runs.
+    assert!(late_total > 0, "no worm was ever served late");
+    assert!(crc_total > 0, "the injector never corrupted a worm");
+
+    // The flit-level filter agrees: on-time goodput is monotone in the
+    // deadline, never exceeds clean goodput, and a corrupted-and-late
+    // worm counts zero once — never negative, never twice.
+    let cfg = CrossbarConfig::powermanna();
+    let packets = flitsim::hotspot_traffic(cfg, 4, 2048);
+    let plan = FaultPlan::clean(0xC0DE).with_transient_rate(0.5).unwrap();
+    let mut inj = TransientInjector::new(&plan);
+    let mut sim = FlitSim::new();
+    let (result, corrupted) = sim.run_with_faults(cfg, &packets, &mut inj);
+    let clean = result.goodput_mbs(&packets, &corrupted);
+    let mut prev = 0.0f64;
+    for us in [1u64, 50, 200, 1_000, 10_000_000] {
+        let on_time = result.on_time_goodput_mbs(&packets, &corrupted, Duration::from_us(us));
+        assert!(on_time >= prev, "on-time goodput must grow with the budget");
+        assert!(
+            on_time <= clean + 1e-9,
+            "on-time goodput exceeded clean goodput"
+        );
+        prev = on_time;
+    }
+    // With an effectively infinite budget the two filters coincide.
+    assert!((prev - clean).abs() < 1e-9);
+}
