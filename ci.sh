@@ -73,6 +73,19 @@ cargo run --release -p pm-bench --bin figures -- --quick --csv \
   hierarchy > target/x13_quick.csv
 diff -u tests/goldens/x13_quick.csv target/x13_quick.csv
 
+echo "== resilience golden (quick X14) =="
+# The X14 campaign curves pin the whole self-healing layer: the seeded
+# fault campaigns (transient stream, link-death roll, repair schedule),
+# the health-table learning and quarantine windows, the jittered
+# retransmission backoff and the watchdog's recovery decisions, under
+# both oracle and detected failover. Regenerate an intentional change
+# with:
+#   cargo run --release -p pm-bench --bin figures -- --quick --csv \
+#     resilience > tests/goldens/x14_quick.csv
+cargo run --release -p pm-bench --bin figures -- --quick --csv \
+  resilience > target/x14_quick.csv
+diff -u tests/goldens/x14_quick.csv target/x14_quick.csv
+
 echo "== observability golden (quick metrics registry) =="
 # The --metrics collection drives one deterministic scenario through
 # every substrate and dumps the registry as sorted CSV; any counter

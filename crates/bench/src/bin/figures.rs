@@ -25,6 +25,7 @@ use pm_net::network::{Network, RouteBackpressure};
 use pm_net::routesim::{RoutePolicy, RouteSim};
 use pm_net::stopwire::{StopWireConfig, StopWireEngine};
 use pm_net::topology::Topology;
+use pm_sim::metrics::MetricRegistry;
 use pm_sim::par;
 use pm_sim::time::Time;
 use pm_workloads::matmult::MatMultVersion;
@@ -85,7 +86,7 @@ fn main() {
         for id in &ids {
             match find(id) {
                 Some(exp) => {
-                    let artifact = (exp.run)(quick);
+                    let artifact = (exp.run)(quick, &mut MetricRegistry::new());
                     println!("# {}", exp.id);
                     print!("{}", artifact.to_csv());
                 }
@@ -107,7 +108,7 @@ fn main() {
         match write_bundle(dir, quick) {
             Ok(written) => {
                 for id in written {
-                    println!("  wrote {id}.csv / {id}.md");
+                    println!("  wrote {id}.csv / {id}.md / {id}_metrics.csv");
                 }
                 println!("bundle complete: {}", dir.join("SUMMARY.md").display());
             }
@@ -123,7 +124,7 @@ fn main() {
         match find(id) {
             Some(exp) => {
                 eprintln!("== {} ==", exp.title);
-                let artifact = (exp.run)(quick);
+                let artifact = (exp.run)(quick, &mut MetricRegistry::new());
                 println!("{}", render_terminal(&artifact));
             }
             None => {
@@ -155,7 +156,7 @@ fn time_bundle(quick: bool, serial_only: bool) {
     let serial_start = Instant::now();
     for exp in all_experiments() {
         let t = Instant::now();
-        black_box((exp.run)(quick));
+        black_box((exp.run)(quick, &mut MetricRegistry::new()));
         let ms = t.elapsed().as_secs_f64() * 1e3;
         println!("  {:14} {:>9.1} ms", exp.id, ms);
         per_experiment.push((exp.id, ms));
@@ -331,6 +332,33 @@ fn time_hot_paths(quick: bool) -> Vec<HotPath> {
     }
     let hierarchy_reused_ms = t.elapsed().as_secs_f64() * 1e3;
 
+    // The resilient loop under a small fault campaign (transients, four
+    // link deaths, repairs): same fresh-vs-pooled comparison, but the
+    // run also exercises the health table, retransmission and watchdog
+    // machinery the plain hierarchy batch never touches.
+    let (res_worms, res_plan, res_cfg) = pm_core::resilience::x14_hot_path();
+    let t = Instant::now();
+    for _ in 0..reps {
+        let mut sim = RouteSim::new(&topo);
+        black_box(
+            sim.run_resilient(&res_worms, &res_plan, &res_cfg)
+                .expect("hot-path plan is valid for system1024")
+                .finished_at,
+        );
+    }
+    let resilience_fresh_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut sim = RouteSim::new(&topo);
+    sim.run_resilient(&res_worms, &res_plan, &res_cfg).unwrap();
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(
+            sim.run_resilient(&res_worms, &res_plan, &res_cfg)
+                .expect("hot-path plan is valid for system1024")
+                .finished_at,
+        );
+    }
+    let resilience_reused_ms = t.elapsed().as_secs_f64() * 1e3;
+
     vec![
         HotPath {
             name: "matmult_sweep",
@@ -359,6 +387,13 @@ fn time_hot_paths(quick: bool) -> Vec<HotPath> {
             baseline_ms: hierarchy_fresh_ms,
             optimized: "reused",
             optimized_ms: hierarchy_reused_ms,
+        },
+        HotPath {
+            name: "resilience",
+            baseline: "fresh",
+            baseline_ms: resilience_fresh_ms,
+            optimized: "reused",
+            optimized_ms: resilience_reused_ms,
         },
     ]
 }

@@ -24,6 +24,9 @@
 //! * [`hierarchy`] — the 1024-node hierarchical permutation network
 //!   under offered load, adaptive vs oblivious routing vs the 8x8
 //!   mesh (experiment X13).
+//! * [`resilience`] — the self-healing hierarchy under escalating
+//!   fault campaigns: online failure detection, recovery and the
+//!   deadlock watchdog, oracle vs detected failover (experiment X14).
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@ pub mod hintrun;
 pub mod matmultrun;
 pub mod observability;
 pub mod report;
+pub mod resilience;
 pub mod systems;
 pub mod traffic;
 

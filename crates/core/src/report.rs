@@ -1,6 +1,7 @@
 //! Rendering and persisting experiment bundles.
 
 use crate::experiments::{all_experiments, Artifact};
+use pm_sim::metrics::MetricRegistry;
 use pm_sim::par::par_sweep;
 use std::fmt::Write as _;
 use std::fs;
@@ -19,20 +20,57 @@ use std::path::Path;
 /// from it — is byte-identical whether this runs serially or in
 /// parallel (see `pm_sim::par::set_parallel`).
 pub fn run_all(quick: bool) -> Vec<(String, Artifact)> {
-    let experiments = all_experiments();
-    let artifacts = par_sweep(experiments.iter().map(|e| e.run).collect(), |run| {
-        run(quick)
-    });
-    experiments
+    run_all_with_metrics(quick)
         .into_iter()
-        .zip(artifacts)
-        .map(|(exp, a)| (exp.id.to_string(), a))
+        .map(|(id, a, _)| (id, a))
         .collect()
 }
 
+/// Runs every registered experiment with its own [`MetricRegistry`] and
+/// returns `(id, artifact, registry)` triples in registry order.
+///
+/// The registry holds whatever the experiment published while running —
+/// X14's conservation ledger with its `health/` detection and
+/// `watchdog/` recovery trees — plus the artefact-shape counters
+/// [`describe_artifact`] adds, so every experiment's registry is
+/// non-empty and `out/<id>_metrics.csv` always has rows. Registries are
+/// as deterministic as the artefacts: same `quick`, same CSV bytes,
+/// serial or parallel.
+pub fn run_all_with_metrics(quick: bool) -> Vec<(String, Artifact, MetricRegistry)> {
+    let experiments = all_experiments();
+    let results = par_sweep(experiments.iter().map(|e| e.run).collect(), |run| {
+        let mut metrics = MetricRegistry::new();
+        let artifact = run(quick, &mut metrics);
+        describe_artifact(&artifact, &mut metrics);
+        (artifact, metrics)
+    });
+    experiments
+        .into_iter()
+        .zip(results)
+        .map(|(exp, (a, m))| (exp.id.to_string(), a, m))
+        .collect()
+}
+
+/// Publishes an artefact's shape under `artifact/`: a recount any
+/// reader of the CSV could make, so the per-experiment metrics file is
+/// self-describing even for experiments with no internal counters.
+pub fn describe_artifact(artifact: &Artifact, metrics: &mut MetricRegistry) {
+    match artifact {
+        Artifact::Figure(f) => {
+            metrics.count("artifact/series", f.series().len() as u64);
+            let points: u64 = f.series().iter().map(|s| s.len() as u64).sum();
+            metrics.count("artifact/points", points);
+        }
+        Artifact::Table(t) => {
+            metrics.count("artifact/rows", t.rows().len() as u64);
+            metrics.count("artifact/columns", t.header().len() as u64);
+        }
+    }
+}
+
 /// Runs every registered experiment — across the worker pool — and
-/// writes one CSV plus one markdown file per artefact into `dir`, along
-/// with a `SUMMARY.md` index.
+/// writes one CSV, one markdown file and one `_metrics.csv` registry
+/// dump per artefact into `dir`, along with a `SUMMARY.md` index.
 ///
 /// `quick` shrinks the sweeps (used by tests; the bench harness runs the
 /// full versions). Experiments are independent deterministic
@@ -45,13 +83,18 @@ pub fn run_all(quick: bool) -> Vec<(String, Artifact)> {
 pub fn write_bundle(dir: &Path, quick: bool) -> io::Result<Vec<String>> {
     fs::create_dir_all(dir)?;
     let experiments = all_experiments();
-    let artifacts = run_all(quick);
+    let results = run_all_with_metrics(quick);
     let mut written = Vec::new();
     let mut summary = String::from("# PowerMANNA reproduction — experiment bundle\n\n");
-    for (exp, (stem, artifact)) in experiments.iter().zip(artifacts) {
+    for (exp, (stem, artifact, metrics)) in experiments.iter().zip(results) {
         fs::write(dir.join(format!("{stem}.csv")), artifact.to_csv())?;
         fs::write(dir.join(format!("{stem}.md")), artifact.to_markdown())?;
-        let _ = writeln!(summary, "- **{}** — `{stem}.csv`, `{stem}.md`", exp.title);
+        fs::write(dir.join(format!("{stem}_metrics.csv")), metrics.to_csv())?;
+        let _ = writeln!(
+            summary,
+            "- **{}** — `{stem}.csv`, `{stem}.md`, `{stem}_metrics.csv`",
+            exp.title
+        );
         written.push(stem);
     }
     fs::write(dir.join("SUMMARY.md"), summary)?;
@@ -77,9 +120,13 @@ mod tests {
     use super::*;
     use crate::experiments::find;
 
+    fn run_quick(id: &str) -> Artifact {
+        (find(id).unwrap().run)(true, &mut MetricRegistry::new())
+    }
+
     #[test]
     fn terminal_rendering_includes_plot_for_figures() {
-        let a = (find("routing").unwrap().run)(true);
+        let a = run_quick("routing");
         let out = render_terminal(&a);
         assert!(out.contains("x2"));
         assert!(out.contains('|'));
@@ -87,9 +134,29 @@ mod tests {
 
     #[test]
     fn terminal_rendering_of_tables_is_markdown() {
-        let a = (find("table1").unwrap().run)(true);
+        let a = run_quick("table1");
         let out = render_terminal(&a);
         assert!(out.starts_with("###"));
+    }
+
+    #[test]
+    fn every_experiment_registry_is_non_empty() {
+        // The bundle contract: each experiment dumps a metrics CSV with
+        // at least the artefact-shape recount, and the shape counters
+        // agree with the artefact itself.
+        let a = run_quick("fig9");
+        let mut m = MetricRegistry::new();
+        describe_artifact(&a, &mut m);
+        let Artifact::Figure(f) = &a else {
+            panic!("fig9 is a figure");
+        };
+        assert_eq!(
+            m.counter_value("artifact/series"),
+            Some(f.series().len() as u64)
+        );
+        let points: u64 = f.series().iter().map(|s| s.len() as u64).sum();
+        assert_eq!(m.counter_value("artifact/points"), Some(points));
+        assert!(!m.to_csv().is_empty());
     }
 
     #[test]
@@ -104,9 +171,20 @@ mod tests {
                 "{stem}.csv missing"
             );
             assert!(dir.join(format!("{stem}.md")).exists(), "{stem}.md missing");
+            let metrics =
+                fs::read_to_string(dir.join(format!("{stem}_metrics.csv"))).expect("metrics csv");
+            assert!(
+                metrics.lines().count() > 1,
+                "{stem}_metrics.csv has no counter rows"
+            );
         }
+        // The X14 registry carries the detection and recovery trees.
+        let resilience = fs::read_to_string(dir.join("resilience_metrics.csv")).unwrap();
+        assert!(resilience.contains("resilience/detected/deaths_repairs/health/quarantines"));
+        assert!(resilience.contains("resilience/detected/deaths_repairs/watchdog/scans"));
         let summary = fs::read_to_string(dir.join("SUMMARY.md")).unwrap();
         assert!(summary.contains("fig9.csv"));
+        assert!(summary.contains("fig9_metrics.csv"));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -115,13 +193,14 @@ mod tests {
         // The determinism contract of the parallel harness: fanning the
         // experiments (and their inner sweeps) across the worker pool
         // changes wall-clock time and nothing else. Compare every
-        // artifact's rendered CSV and markdown strings.
+        // artifact's rendered CSV and markdown strings, and every
+        // experiment registry's CSV dump.
         pm_sim::par::set_parallel(false);
-        let serial = run_all(true);
+        let serial = run_all_with_metrics(true);
         pm_sim::par::set_parallel(true);
-        let parallel = run_all(true);
+        let parallel = run_all_with_metrics(true);
         assert_eq!(serial.len(), parallel.len());
-        for ((sid, sa), (pid, pa)) in serial.iter().zip(parallel.iter()) {
+        for ((sid, sa, sm), (pid, pa, pm)) in serial.iter().zip(parallel.iter()) {
             assert_eq!(sid, pid);
             assert_eq!(
                 sa.to_csv(),
@@ -132,6 +211,11 @@ mod tests {
                 sa.to_markdown(),
                 pa.to_markdown(),
                 "{sid} markdown differs serial vs parallel"
+            );
+            assert_eq!(
+                sm.to_csv(),
+                pm.to_csv(),
+                "{sid} metrics differ serial vs parallel"
             );
         }
     }

@@ -1,0 +1,307 @@
+//! Experiment X14: the self-healing 1024-node hierarchy under
+//! escalating fault campaigns.
+//!
+//! X13 established what the hierarchy delivers when nothing breaks;
+//! this experiment measures what survives when links do. One fixed
+//! Poisson worm batch (load [`X14_LOAD`] of injection capacity — below
+//! the X13 knee, so fault handling rather than congestion decides the
+//! curves) runs under four escalating campaigns on the x axis:
+//!
+//! 0. **clean** — no faults; the reference both failover modes must
+//!    reproduce exactly.
+//! 1. **transients** — [`X14_TRANSIENT_RATE`] per-transmission flit
+//!    corruption, recovered by CRC rejection + retransmission.
+//! 2. **link deaths** — transients plus rolling permanent link deaths
+//!    drawn over *every* physical link of the topology (node cables and
+//!    crossbar-to-crossbar uplinks alike).
+//! 3. **deaths + repairs** — the same death schedule, each death
+//!    serviced a fixed delay later; quarantined links must be re-probed
+//!    and reinstated for the repair to pay off.
+//!
+//! Each campaign is measured twice: **oracle** failover (route choice
+//! reads the true dead-link set — an upper bound no machine achieves)
+//! and **detected** failover (route choice consults only per-source
+//! [`pm_net::health::HealthTable`]s fed by observed symptoms). The
+//! spread between the two series is the price of having to *learn*
+//! which links are dead. Two measures per mode share the axis: on-time
+//! goodput (the X13 deadline accounting) and availability (fraction of
+//! offered bytes eventually delivered intact). Campaigns 2 and 3 share
+//! one death schedule, so the repair column isolates exactly what
+//! servicing buys.
+
+use crate::hierarchy::{x13_deadline, x13_injection_capacity_bytes_per_s};
+use pm_net::fault::FaultPlan;
+use pm_net::routesim::{
+    permutation_worms, FailoverMode, ResilienceConfig, ResilienceStats, RouteSim, Worm,
+};
+use pm_net::topology::Topology;
+use pm_sim::metrics::MetricRegistry;
+use pm_sim::par::par_sweep;
+use pm_sim::stats::{Figure, Series};
+use pm_sim::time::{Duration, Time};
+use pm_workloads::traffic::{TrafficConfig, TrafficGen, TrafficPattern};
+
+/// The four escalating fault campaigns, in x-axis order.
+pub const X14_CAMPAIGNS: [&str; 4] = ["clean", "transients", "link deaths", "deaths + repairs"];
+
+/// Metric-path segments for the per-campaign counter trees.
+pub const X14_CAMPAIGN_SLUGS: [&str; 4] = ["clean", "transients", "link_deaths", "deaths_repairs"];
+
+/// The two failover-knowledge modes, in series order.
+pub const X14_MODES: [(&str, FailoverMode); 2] = [
+    ("oracle", FailoverMode::Oracle),
+    ("detected", FailoverMode::Detected),
+];
+
+/// Offered load as a fraction of plane-0 injection capacity.
+pub const X14_LOAD: f64 = 0.4;
+
+/// Per-transmission corruption probability for campaigns ≥ 1.
+pub const X14_TRANSIENT_RATE: f64 = 0.03;
+
+/// Worms in the batch (shared by every campaign and mode).
+fn x14_messages(quick: bool) -> u64 {
+    if quick {
+        20_000
+    } else {
+        80_000
+    }
+}
+
+/// Permanent link deaths scheduled in campaigns ≥ 2.
+fn x14_deaths(quick: bool) -> u32 {
+    if quick {
+        24
+    } else {
+        48
+    }
+}
+
+/// Sojourn budget: the X13 deadline, so the two hierarchy experiments
+/// count "on time" identically.
+pub fn x14_deadline() -> Duration {
+    x13_deadline()
+}
+
+/// The one worm batch every X14 point replays: a Poisson multi-tenant
+/// stream over all 1024 nodes at [`X14_LOAD`]. The campaign is the only
+/// variable in the figure, so the traffic seed is fixed. Returns the
+/// batch and the arrival horizon the goodput divides by.
+pub fn x14_worms(quick: bool) -> (Vec<Worm>, Time) {
+    let cfg = TrafficConfig {
+        nodes: 1024,
+        tenants: if quick { 1024 } else { 4096 },
+        pattern: TrafficPattern::Poisson,
+        offered_bytes_per_s: X14_LOAD * x13_injection_capacity_bytes_per_s(),
+        payload: 4096,
+        messages: x14_messages(quick),
+        seed: 0x7140_0001,
+    };
+    let mut worms = Vec::with_capacity(cfg.messages as usize);
+    let mut horizon = Time::ZERO;
+    for m in TrafficGen::new(cfg) {
+        horizon = m.at;
+        worms.push(Worm {
+            src: m.src as usize,
+            dst: m.dst as usize,
+            plane: 0,
+            payload: m.bytes as u32,
+            inject_at: m.at,
+        });
+    }
+    (worms, horizon)
+}
+
+/// The fault plan for one campaign over a batch with the given arrival
+/// `horizon`. Deaths roll in over the first 60% of the horizon so the
+/// detection machinery works under live traffic; campaign 3 services
+/// every death 500 µs later — longer than the first quarantine window,
+/// so reinstatement requires an actual re-probe.
+pub fn x14_plan(campaign: usize, horizon: Time, quick: bool) -> FaultPlan {
+    // One seed for every campaign: 2 and 3 kill the same links at the
+    // same instants, so the repair column isolates what servicing buys.
+    let mut plan = FaultPlan::clean(0x7140_D00D);
+    if campaign >= 1 {
+        plan = plan
+            .with_transient_rate(X14_TRANSIENT_RATE)
+            .expect("rate is a probability");
+    }
+    if campaign >= 2 {
+        let window = Duration::from_ps(horizon.as_ps() * 3 / 5);
+        plan = plan.random_link_downs(&Topology::system1024(), x14_deaths(quick), window);
+    }
+    if campaign >= 3 {
+        plan = plan.repair_all_after(Duration::from_us(500));
+    }
+    plan
+}
+
+/// One X14 measurement: `(on-time goodput [Mbyte/s], availability [%],
+/// conservation ledger)`. `sim` must have been built over
+/// [`Topology::system1024`].
+pub fn x14_point(
+    sim: &mut RouteSim,
+    mode: FailoverMode,
+    campaign: usize,
+    quick: bool,
+) -> (f64, f64, ResilienceStats) {
+    let (worms, horizon) = x14_worms(quick);
+    let plan = x14_plan(campaign, horizon, quick);
+    let cfg = ResilienceConfig {
+        failover: mode,
+        ..ResilienceConfig::default()
+    };
+    let r = sim
+        .run_resilient(&worms, &plan, &cfg)
+        .expect("x14 plans name only links system1024 has");
+    let on_time = r.on_time_bytes(&worms, x14_deadline());
+    let goodput = on_time as f64 / horizon.as_secs_f64() / 1e6;
+    (goodput, 100.0 * r.availability(), r.stats)
+}
+
+/// X14: on-time goodput and availability across the four campaigns,
+/// oracle vs detected failover. Every point's conservation ledger —
+/// including the `health/` detection and `watchdog/` recovery trees —
+/// is published into `metrics` under `resilience/<mode>/<campaign>`.
+pub fn x14_figure(quick: bool, metrics: &mut MetricRegistry) -> Figure {
+    let ncamp = X14_CAMPAIGNS.len();
+    let mut points = Vec::new();
+    for mi in 0..X14_MODES.len() {
+        for c in 0..ncamp {
+            points.push((mi, c));
+        }
+    }
+    let results = par_sweep(points.clone(), move |(mi, c)| {
+        let mut sim = RouteSim::new(&Topology::system1024());
+        x14_point(&mut sim, X14_MODES[mi].1, c, quick)
+    });
+    for (&(mi, c), (_, _, stats)) in points.iter().zip(&results) {
+        let prefix = format!("resilience/{}/{}", X14_MODES[mi].0, X14_CAMPAIGN_SLUGS[c]);
+        stats.publish(metrics, &prefix);
+    }
+
+    let mut fig = Figure::new(
+        "x14 (self-healing hierarchy)",
+        "fault campaign (0=clean, 1=transients, 2=link deaths, 3=deaths+repairs)",
+        "on-time goodput [Mbyte/s] / availability [%]",
+    );
+    for (mi, (mode, _)) in X14_MODES.iter().enumerate() {
+        let mut s = Series::new(format!("on-time goodput, {mode} failover [Mbyte/s]"));
+        for c in 0..ncamp {
+            s.push(c as f64, results[mi * ncamp + c].0);
+        }
+        fig.add_series(s);
+    }
+    for (mi, (mode, _)) in X14_MODES.iter().enumerate() {
+        let mut s = Series::new(format!("availability, {mode} failover [%]"));
+        for c in 0..ncamp {
+            s.push(c as f64, results[mi * ncamp + c].1);
+        }
+        fig.add_series(s);
+    }
+    fig
+}
+
+/// The resilient-loop hot path `figures --time` replays: the 1024-worm
+/// permutation batch under a small campaign (transients, a burst of
+/// link deaths inside the drain window, repairs) with detected
+/// failover — every layer of the self-healing machinery on one batch.
+pub fn x14_hot_path() -> (Vec<Worm>, FaultPlan, ResilienceConfig) {
+    let worms = permutation_worms(128, 8, 4096, 0, Time::ZERO);
+    let plan = FaultPlan::clean(0x7140_70B5)
+        .with_transient_rate(0.02)
+        .expect("rate is a probability")
+        .random_link_downs(&Topology::system1024(), 4, Duration::from_us(40))
+        .repair_all_after(Duration::from_us(200));
+    (worms, plan, ResilienceConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaigns_escalate_by_construction() {
+        let horizon = Time::from_ps(3_000_000_000);
+        let clean = x14_plan(0, horizon, true);
+        assert_eq!(clean.transient_rate(), 0.0);
+        assert!(clean.schedule().is_empty() && clean.repairs().is_empty());
+        let transients = x14_plan(1, horizon, true);
+        assert_eq!(transients.transient_rate(), X14_TRANSIENT_RATE);
+        assert!(transients.schedule().is_empty());
+        let deaths = x14_plan(2, horizon, true);
+        assert_eq!(deaths.schedule().len(), x14_deaths(true) as usize);
+        assert!(deaths.repairs().is_empty());
+        let serviced = x14_plan(3, horizon, true);
+        assert_eq!(serviced.schedule(), deaths.schedule(), "same death roll");
+        assert_eq!(serviced.repairs().len(), serviced.schedule().len());
+        // Every death lands inside the first 60% of the horizon, so the
+        // detection machinery works under live traffic.
+        let window = Duration::from_ps(horizon.as_ps() * 3 / 5);
+        for d in serviced.schedule() {
+            assert!(
+                d.at < Time::ZERO + window,
+                "death at {} beyond window",
+                d.at
+            );
+        }
+        // Plans validate against the topology they will run on.
+        let topo = Topology::system1024();
+        serviced.validate(&topo).expect("x14 plans name real links");
+    }
+
+    #[test]
+    fn the_worm_batch_is_deterministic_and_well_formed() {
+        let (a, ha) = x14_worms(true);
+        let (b, hb) = x14_worms(true);
+        assert_eq!(a, b);
+        assert_eq!(ha, hb);
+        assert_eq!(a.len(), 20_000);
+        assert!(ha > Time::ZERO);
+        for w in &a {
+            assert!(w.src < 1024 && w.dst < 1024 && w.src != w.dst);
+            assert_eq!(w.payload, 4096);
+        }
+    }
+
+    #[test]
+    fn detection_costs_goodput_but_not_much() {
+        // The acceptance bar: detected failover recovers at least 80%
+        // of the oracle's on-time goodput under the full
+        // deaths-and-repairs campaign, and the clean campaign is mode-
+        // independent (no faults means the resilient paths never fire).
+        let mut sim = RouteSim::new(&Topology::system1024());
+        let (clean_o, avail_co, _) = x14_point(&mut sim, FailoverMode::Oracle, 0, true);
+        let (clean_d, avail_cd, _) = x14_point(&mut sim, FailoverMode::Detected, 0, true);
+        assert_eq!(clean_o, clean_d, "clean campaign must be mode-blind");
+        assert_eq!(avail_co, 100.0);
+        assert_eq!(avail_cd, 100.0);
+        let (oracle, _, _) = x14_point(&mut sim, FailoverMode::Oracle, 3, true);
+        let (detected, _, stats) = x14_point(&mut sim, FailoverMode::Detected, 3, true);
+        assert!(
+            detected >= 0.8 * oracle,
+            "detected {detected:.1} vs oracle {oracle:.1} Mbyte/s"
+        );
+        assert!(oracle <= clean_o, "faults must not mint goodput");
+        // The detected run actually detected: symptoms were learned and
+        // repairs were re-probed back into service.
+        assert!(stats.failed_opens > 0 && stats.quarantines > 0);
+        assert!(stats.repairs == u64::from(x14_deaths(true)));
+        assert!(stats.reinstatements > 0, "repairs must be reinstated");
+    }
+
+    #[test]
+    fn the_hot_path_campaign_exercises_the_machinery() {
+        let (worms, plan, cfg) = x14_hot_path();
+        assert_eq!(worms.len(), 1024);
+        let mut sim = RouteSim::new(&Topology::system1024());
+        let r = sim.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+        assert_eq!(
+            r.stats.offered,
+            r.stats.delivered + r.stats.dropped,
+            "conservation"
+        );
+        assert!(r.stats.link_downs > 0 && r.stats.repairs > 0);
+        assert!(r.stats.transmissions > r.stats.offered, "retries happened");
+    }
+}

@@ -20,7 +20,7 @@
 //! ([`crate::mesh::Mesh::fail_link`]). [`FaultStats`] counts what each
 //! tier absorbed.
 
-use crate::topology::{NodeId, XbarId};
+use crate::topology::{Endpoint, LinkKey, NodeId, Topology, XbarId};
 use pm_sim::rng::SimRng;
 use pm_sim::time::{Duration, Time};
 
@@ -50,6 +50,20 @@ pub enum LinkRef {
     },
 }
 
+impl LinkRef {
+    /// Resolves this reference to the canonical [`LinkKey`] of the
+    /// physical link it names on `topology`, or `None` if the node,
+    /// plane, crossbar or port does not exist there (or the port is not
+    /// wired). This is the check [`FaultPlan::validate`] applies to
+    /// every scheduled event.
+    pub fn key(&self, topology: &Topology) -> Option<LinkKey> {
+        match *self {
+            LinkRef::NodeLink { node, plane } => topology.node_link_key(node, plane),
+            LinkRef::XbarPort { xbar, port } => topology.canonical_link_key(xbar, port),
+        }
+    }
+}
+
 /// A scheduled permanent link failure.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LinkDown {
@@ -60,7 +74,18 @@ pub struct LinkDown {
     pub link: LinkRef,
 }
 
-/// Why a [`FaultPlan`] could not be built.
+/// A scheduled link repair: the previously killed link comes back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkRepair {
+    /// When the link is physically serviceable again. Online health
+    /// models do not learn this from the plan — they discover it by
+    /// re-probing after their quarantine window expires.
+    pub at: Time,
+    /// Which link comes back.
+    pub link: LinkRef,
+}
+
+/// Why a [`FaultPlan`] could not be built or applied.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum FaultPlanError {
     /// The transient corruption rate must be a probability in `[0, 1)`:
@@ -68,6 +93,12 @@ pub enum FaultPlanError {
     /// rate of 1 (or anything non-finite or negative) is rejected
     /// instead of silently clamped.
     InvalidRate(f64),
+    /// A scheduled event names a link the target topology does not
+    /// have (node/plane out of range, crossbar/port out of range, or an
+    /// unwired port). Before this check, such events silently never
+    /// fired — a plan built for one topology applied to another just
+    /// looked like a miraculously clean run.
+    UnknownLink(LinkRef),
 }
 
 impl core::fmt::Display for FaultPlanError {
@@ -75,6 +106,9 @@ impl core::fmt::Display for FaultPlanError {
         match self {
             FaultPlanError::InvalidRate(r) => {
                 write!(f, "transient fault rate {r} outside [0, 1)")
+            }
+            FaultPlanError::UnknownLink(l) => {
+                write!(f, "fault plan names a link the topology lacks: {l:?}")
             }
         }
     }
@@ -104,6 +138,7 @@ pub struct FaultPlan {
     seed: u64,
     transient_rate: f64,
     link_downs: Vec<LinkDown>,
+    repairs: Vec<LinkRepair>,
 }
 
 impl FaultPlan {
@@ -114,6 +149,7 @@ impl FaultPlan {
             seed,
             transient_rate: 0.0,
             link_downs: Vec::new(),
+            repairs: Vec::new(),
         }
     }
 
@@ -137,6 +173,34 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules `link` to come back at `at` (typically paired with an
+    /// earlier [`FaultPlan::kill_link`] of the same link — a rolling
+    /// death-and-repair campaign). Repair makes the cable serviceable
+    /// again; whether traffic returns to it is up to the consumer's
+    /// health model re-probing it.
+    pub fn repair_link(mut self, at: Time, link: LinkRef) -> Self {
+        self.repairs.push(LinkRepair { at, link });
+        self.repairs.sort_by_key(|r| r.at);
+        self
+    }
+
+    /// Schedules a repair `delay` after every currently scheduled link
+    /// death — the "every failure gets serviced" campaign shape in one
+    /// call.
+    pub fn repair_all_after(mut self, delay: Duration) -> Self {
+        let repairs: Vec<LinkRepair> = self
+            .link_downs
+            .iter()
+            .map(|d| LinkRepair {
+                at: d.at + delay,
+                link: d.link,
+            })
+            .collect();
+        self.repairs.extend(repairs);
+        self.repairs.sort_by_key(|r| r.at);
+        self
+    }
+
     /// Schedules `count` node-link failures at seed-derived nodes,
     /// planes and instants within `[0, horizon)`. The schedule is a pure
     /// function of the plan seed: the same seed always kills the same
@@ -157,6 +221,31 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules `count` link failures drawn uniformly over the links
+    /// `topology` actually has — node links *and* crossbar-to-crossbar
+    /// links, each physical link counted once — at seed-derived instants
+    /// within `[0, horizon)`. Unlike
+    /// [`FaultPlan::random_node_link_downs`], every generated
+    /// [`LinkRef`] is valid for `topology` by construction, so a
+    /// hierarchical system's 272 crossbars get their middle uplinks
+    /// killed too, not just node cables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` has no links.
+    pub fn random_link_downs(mut self, topology: &Topology, count: u32, horizon: Duration) -> Self {
+        let links = link_refs(topology);
+        assert!(!links.is_empty(), "topology has no links to kill");
+        let mut rng = SimRng::seed_from(self.seed ^ SCHEDULE_STREAM);
+        for _ in 0..count {
+            let link = links[rng.gen_range(0, links.len() as u64) as usize];
+            let at = Time::from_ps(rng.gen_range(0, horizon.as_ps().max(1)));
+            self.link_downs.push(LinkDown { at, link });
+        }
+        self.link_downs.sort_by_key(|d| d.at);
+        self
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -171,6 +260,56 @@ impl FaultPlan {
     pub fn schedule(&self) -> &[LinkDown] {
         &self.link_downs
     }
+
+    /// The repair schedule, sorted by time.
+    pub fn repairs(&self) -> &[LinkRepair] {
+        &self.repairs
+    }
+
+    /// Checks that every scheduled death and repair names a link
+    /// `topology` actually has. Consumers apply this before a run;
+    /// [`crate::routesim::RouteSim::run_resilient`] does it for you.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::UnknownLink`] with the first offending
+    /// reference.
+    pub fn validate(&self, topology: &Topology) -> Result<(), FaultPlanError> {
+        for link in self
+            .link_downs
+            .iter()
+            .map(|d| d.link)
+            .chain(self.repairs.iter().map(|r| r.link))
+        {
+            if link.key(topology).is_none() {
+                return Err(FaultPlanError::UnknownLink(link));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every physical link of `topology` exactly once, in deterministic
+/// order: walk crossbars and ports ascending; node cables are named
+/// from their single crossbar port, dual links from their
+/// lexicographically smaller end (the same canonicalisation
+/// [`Topology::canonical_link_key`] uses).
+fn link_refs(topology: &Topology) -> Vec<LinkRef> {
+    let mut out = Vec::new();
+    for xbar in 0..topology.crossbars() {
+        for port in 0..topology.crossbar_config(xbar).ports {
+            match topology.port_peer(xbar, port) {
+                Some((Endpoint::Node { node, link }, _)) => {
+                    out.push(LinkRef::NodeLink { node, plane: link });
+                }
+                Some((Endpoint::Xbar { xbar: b, port: bp }, _)) if (xbar, port) < (b, bp) => {
+                    out.push(LinkRef::XbarPort { xbar, port });
+                }
+                _ => {}
+            }
+        }
+    }
+    out
 }
 
 /// The transient half of a [`FaultPlan`], drawing per-transmission
@@ -384,6 +523,61 @@ mod tests {
         for _ in 0..20 {
             assert!(inj.draw(0).is_none());
         }
+    }
+
+    #[test]
+    fn random_link_downs_only_names_links_the_topology_has() {
+        let t = Topology::system1024();
+        let plan = FaultPlan::clean(21).random_link_downs(&t, 64, Duration::from_ms(2));
+        assert_eq!(plan.schedule().len(), 64);
+        plan.validate(&t).expect("every generated ref resolves");
+        // The draw covers crossbar-to-crossbar links, not just node
+        // cables — the whole point of the topology-aware constructor.
+        assert!(plan
+            .schedule()
+            .iter()
+            .any(|d| matches!(d.link, LinkRef::XbarPort { .. })));
+        assert_eq!(
+            plan,
+            FaultPlan::clean(21).random_link_downs(&t, 64, Duration::from_ms(2))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_refs() {
+        let t = Topology::system256();
+        // A plan drawn for a 4096-node machine names nodes a 128-node
+        // topology lacks; before validation these events silently never
+        // fired.
+        let plan = FaultPlan::clean(3).random_node_link_downs(4096, 16, Duration::from_ms(1));
+        let err = plan.validate(&t).unwrap_err();
+        assert!(matches!(err, FaultPlanError::UnknownLink(_)), "{err}");
+        // Same for a crossbar port beyond the 16x16 ASIC.
+        let bad =
+            FaultPlan::clean(0).kill_link(Time::ZERO, LinkRef::XbarPort { xbar: 0, port: 99 });
+        assert!(bad.validate(&t).is_err());
+        // In-range plans pass.
+        FaultPlan::clean(3)
+            .random_node_link_downs(128, 16, Duration::from_ms(1))
+            .validate(&t)
+            .expect("in-range plan validates");
+    }
+
+    #[test]
+    fn repairs_sort_by_time_and_pair_with_deaths() {
+        let l0 = LinkRef::NodeLink { node: 0, plane: 0 };
+        let l1 = LinkRef::NodeLink { node: 1, plane: 1 };
+        let plan = FaultPlan::clean(5)
+            .kill_link(Time::from_ps(9_000), l1)
+            .kill_link(Time::from_ps(1_000), l0)
+            .repair_all_after(Duration::from_ps(500));
+        let ats: Vec<u64> = plan.repairs().iter().map(|r| r.at.as_ps()).collect();
+        assert_eq!(ats, vec![1_500, 9_500]);
+        assert_eq!(plan.repairs()[0].link, l0);
+        // An explicit repair interleaves into time order.
+        let plan = plan.repair_link(Time::from_ps(4_000), l1);
+        let ats: Vec<u64> = plan.repairs().iter().map(|r| r.at.as_ps()).collect();
+        assert_eq!(ats, vec![1_500, 4_000, 9_500]);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Online link-health tracking: learn failures, quarantine, re-probe.
+//!
+//! The fault layer elsewhere in the tree is *oracle-known*: consumers
+//! read the [`crate::fault::FaultPlan`] schedule and route around
+//! deaths they could not physically have observed yet. A real machine
+//! (BlueGene/L makes this explicit at scale) only ever sees its own
+//! symptoms — an open that timed out, a delivery acknowledgement that
+//! never came. [`HealthTable`] is that symptom ledger: one table per
+//! source node, fed exclusively by
+//! [`record_failure`](HealthTable::record_failure) calls from the
+//! source's own failed opens and delivery timeouts, never by the plan.
+//!
+//! A recorded link is *quarantined* — route selection skips it — for a
+//! window that doubles with each repeat failure (capped), after which
+//! the link becomes eligible again and the next worm that picks it is
+//! an implicit *re-probe*: success clears the entry
+//! ([`record_success`](HealthTable::record_success) — reinstatement
+//! after a scheduled repair), failure re-quarantines with a longer
+//! window. Escalation means permanently dead links cost a handful of
+//! probe worms, not a probe per quarantine period forever.
+//!
+//! The table is a tiny sorted-insertion `Vec` scanned linearly: a
+//! source that has seen no failures pays one `is_empty` branch per
+//! candidate link on the routing hot path (`tests/bench_guard.rs`
+//! bounds both the empty and the populated lookup).
+
+use crate::topology::LinkKey;
+use pm_sim::time::{Duration, Time};
+
+/// Quarantine policy for an online health table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Quarantine window after the first recorded failure of a link;
+    /// each repeat failure doubles it, up to `2^MAX_ESCALATION`×.
+    pub quarantine: Duration,
+}
+
+impl HealthConfig {
+    /// Doubling cap: a link failing repeatedly is quarantined for at
+    /// most `quarantine << MAX_ESCALATION`.
+    pub const MAX_ESCALATION: u32 = 6;
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            // Several hundred worm times at 4 KB payloads: long enough
+            // that a dead link is not hammered, short enough that a
+            // repaired link is re-probed within a simulation horizon.
+            quarantine: Duration::from_us(400),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HealthEntry {
+    link: LinkKey,
+    /// Instant the quarantine lapses and the link may be re-probed.
+    until: Time,
+    /// Consecutive recorded failures (drives escalation).
+    failures: u32,
+}
+
+/// One source's learned view of which links are bad.
+#[derive(Clone, Debug, Default)]
+pub struct HealthTable {
+    entries: Vec<HealthEntry>,
+}
+
+impl HealthTable {
+    /// An empty table: everything presumed healthy.
+    pub fn new() -> Self {
+        HealthTable::default()
+    }
+
+    /// Records a failure observed *by this source* on `link` at `now`
+    /// (a failed open or a delivery timeout — the only two admissible
+    /// evidence sources). Returns `true` if the link was not already
+    /// suspect (a fresh quarantine rather than an escalation).
+    pub fn record_failure(&mut self, link: LinkKey, now: Time, cfg: &HealthConfig) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.link == link) {
+            e.failures = e.failures.saturating_add(1);
+            let scale = (e.failures - 1).min(HealthConfig::MAX_ESCALATION);
+            e.until = now + cfg.quarantine * (1u64 << scale);
+            false
+        } else {
+            self.entries.push(HealthEntry {
+                link,
+                until: now + cfg.quarantine,
+                failures: 1,
+            });
+            true
+        }
+    }
+
+    /// Records a successful delivery over `link`: a lapsed quarantine's
+    /// re-probe came back, so the link is reinstated. Returns `true` if
+    /// an entry was actually cleared.
+    pub fn record_success(&mut self, link: LinkKey) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        if let Some(i) = self.entries.iter().position(|e| e.link == link) {
+            self.entries.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether route selection should skip `link` at `now`. The routing
+    /// hot path: one branch when the table is empty.
+    #[inline]
+    pub fn is_quarantined(&self, link: LinkKey, now: Time) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        self.entries.iter().any(|e| e.link == link && now < e.until)
+    }
+
+    /// When `link`'s quarantine lapses (`None` if not suspect). Forced
+    /// re-probes pick the candidate whose worst quarantine lapses
+    /// soonest.
+    pub fn quarantined_until(&self, link: LinkKey) -> Option<Time> {
+        self.entries
+            .iter()
+            .find(|e| e.link == link)
+            .map(|e| e.until)
+    }
+
+    /// Links currently suspect (quarantined now or awaiting a re-probe
+    /// verdict).
+    pub fn suspects(&self) -> impl Iterator<Item = LinkKey> + '_ {
+        self.entries.iter().map(|e| e.link)
+    }
+
+    /// Number of suspect links.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no suspects.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets everything (pooled reuse across runs).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: HealthConfig = HealthConfig {
+        quarantine: Duration::from_us(100),
+    };
+
+    fn key(x: usize, p: u32) -> LinkKey {
+        (x, p)
+    }
+
+    #[test]
+    fn failure_quarantines_for_the_window() {
+        let mut ht = HealthTable::new();
+        let t0 = Time::from_ps(1_000);
+        assert!(ht.record_failure(key(3, 7), t0, &CFG));
+        assert!(ht.is_quarantined(key(3, 7), t0));
+        assert!(ht.is_quarantined(key(3, 7), t0 + Duration::from_us(99)));
+        // Lapsed: eligible for a re-probe, but still suspect.
+        assert!(!ht.is_quarantined(key(3, 7), t0 + Duration::from_us(100)));
+        assert_eq!(ht.len(), 1);
+        assert!(!ht.is_quarantined(key(0, 0), t0), "unrelated link clean");
+    }
+
+    #[test]
+    fn repeat_failures_escalate_and_cap() {
+        let mut ht = HealthTable::new();
+        let mut t = Time::ZERO;
+        let mut last = Duration::ZERO;
+        for i in 0..10u32 {
+            assert_eq!(ht.record_failure(key(1, 1), t, &CFG), i == 0);
+            let window = ht.quarantined_until(key(1, 1)).unwrap().since(t);
+            assert!(window >= last, "window must not shrink");
+            assert!(
+                window <= CFG.quarantine * (1 << HealthConfig::MAX_ESCALATION),
+                "window {window} beyond cap"
+            );
+            last = window;
+            t += window;
+        }
+        assert_eq!(last, CFG.quarantine * (1 << HealthConfig::MAX_ESCALATION));
+    }
+
+    #[test]
+    fn success_reinstates() {
+        let mut ht = HealthTable::new();
+        ht.record_failure(key(2, 2), Time::ZERO, &CFG);
+        assert!(ht.record_success(key(2, 2)));
+        assert!(ht.is_empty());
+        assert!(!ht.is_quarantined(key(2, 2), Time::ZERO));
+        assert!(!ht.record_success(key(2, 2)), "no entry to clear");
+    }
+
+    #[test]
+    fn suspects_lists_every_entry() {
+        let mut ht = HealthTable::new();
+        ht.record_failure(key(0, 1), Time::ZERO, &CFG);
+        ht.record_failure(key(5, 9), Time::ZERO, &CFG);
+        let mut s: Vec<LinkKey> = ht.suspects().collect();
+        s.sort_unstable();
+        assert_eq!(s, vec![key(0, 1), key(5, 9)]);
+        ht.clear();
+        assert!(ht.is_empty());
+    }
+}

@@ -18,9 +18,13 @@
 //!   (up to three crossbars) with oblivious or adaptive path choice,
 //!   scaled for 1000+ simultaneous worms on the 1024-node hierarchy.
 //! * [`fault`] — seeded, deterministic fault plans: transient flit
-//!   corruption and scheduled permanent link deaths, driving the
-//!   duplicated-network failover in [`network`] and the rerouting in
-//!   [`mesh`].
+//!   corruption, scheduled permanent link deaths and scheduled
+//!   repairs, driving the duplicated-network failover in [`network`],
+//!   the rerouting in [`mesh`], and the self-healing loop in
+//!   [`routesim`].
+//! * [`health`] — per-source online link-health tables: quarantine
+//!   learned from failed opens and delivery timeouts only (no oracle),
+//!   escalating windows, re-probe and reinstatement.
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@ pub mod error;
 pub mod fault;
 pub mod fifo;
 pub mod flitsim;
+pub mod health;
 pub mod mesh;
 pub mod network;
 pub mod outcome;
@@ -52,13 +57,19 @@ pub mod wire;
 
 pub use crossbar::{Crossbar, CrossbarConfig};
 pub use error::NetError;
-pub use fault::{FaultPlan, FaultPlanError, FaultStats, LinkDown, LinkRef, TransientInjector};
+pub use fault::{
+    FaultPlan, FaultPlanError, FaultStats, LinkDown, LinkRef, LinkRepair, TransientInjector,
+};
 pub use fifo::TimedFifo;
 pub use flitsim::{FlitSimResult, Packet};
+pub use health::{HealthConfig, HealthTable};
 pub use mesh::{Mesh, MeshConfig, MeshError};
 pub use network::{Connection, FailoverOutcome, Network, RouteBackpressure, RouteError};
 pub use outcome::{OutcomeHandles, TransferOutcome};
-pub use routesim::{RoutePolicy, RouteSim, RouteSimResult, Worm};
+pub use routesim::{
+    FailoverMode, ResilienceConfig, ResilienceStats, ResilientResult, RetransmitPolicy,
+    RoutePolicy, RouteSim, RouteSimResult, WatchdogConfig, Worm, WormOutcome,
+};
 pub use stopwire::{RouteFlowStats, StallWindows, StopWireConfig, StopWireEngine, StopWireStats};
 pub use topology::{LinkKey, LinkKind, NodeId, Topology, XbarId};
 pub use transceiver::{Transceiver, TransceiverConfig};

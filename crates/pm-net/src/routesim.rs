@@ -38,8 +38,12 @@
 //! rather than hang.
 
 use crate::crossbar::Crossbar;
-use crate::topology::{Endpoint, Hop, NodeId, Topology};
+use crate::fault::{FaultPlan, FaultPlanError, LinkRef, TransientInjector};
+use crate::health::{HealthConfig, HealthTable};
+use crate::outcome::TransferOutcome;
+use crate::topology::{Endpoint, Hop, LinkKey, NodeId, Topology};
 use pm_sim::event::EventQueue;
+use pm_sim::metrics::MetricRegistry;
 use pm_sim::time::{Duration, Time};
 use std::collections::VecDeque;
 
@@ -113,6 +117,288 @@ impl RouteSimResult {
     }
 }
 
+/// Whose knowledge drives route-around decisions in
+/// [`RouteSim::run_resilient`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailoverMode {
+    /// Route selection reads the true dead-link set the instant a death
+    /// fires — an upper bound no real machine achieves (the schedule is
+    /// information the hardware cannot have).
+    Oracle,
+    /// Route selection consults only the source's own [`HealthTable`],
+    /// fed exclusively by its failed opens and delivery timeouts. Every
+    /// route-around traces to an observed symptom.
+    Detected,
+}
+
+/// Capped exponential backoff with deterministic jitter, applied
+/// between retransmission attempts of one worm.
+///
+/// Jitter is the point: without it, worms severed by the same link
+/// death retry in lockstep and re-collide on the surviving routes
+/// (synchronized retry storms). The jittered gap is drawn uniformly
+/// from `[backoff/2, backoff]` by a splitmix64 hash of `(jitter_seed,
+/// salt, attempt)` — deterministic per worm, decorrelated across worms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetransmitPolicy {
+    /// Total transmission attempts (first try included) before the
+    /// worm is dropped.
+    pub max_attempts: u32,
+    /// Backoff ceiling for attempt 1; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Saturation cap on the doubling.
+    pub max_backoff: Duration,
+    /// Seed decorrelating this run's jitter from other runs'.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            max_attempts: 16,
+            initial_backoff: Duration::from_us(2),
+            max_backoff: Duration::from_us(256),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetransmitPolicy {
+    /// Gap before the attempt after `attempt` (1-based) for the worm
+    /// identified by `salt`: capped exponential, jittered into
+    /// `[backoff/2, backoff]`.
+    pub fn gap_after(&self, salt: u64, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .initial_backoff
+            .as_ps()
+            .saturating_mul(1u64 << doublings);
+        let backoff = raw.min(self.max_backoff.as_ps());
+        let lo = backoff / 2;
+        let span = backoff - lo + 1;
+        let h = mix64(
+            self.jitter_seed
+                ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (u64::from(attempt) << 32),
+        );
+        Duration::from_ps(lo + h % span)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Progress-watchdog policy: scan cadence and the no-progress window
+/// after which a blocked worm is declared stalled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Interval between watchdog scans (also the port-timeout latency
+    /// bound for reclaiming orphaned ports).
+    pub scan_period: Duration,
+    /// A blocked worm whose progress epoch has not advanced between
+    /// scans and which has waited at least this long is stalled.
+    pub stall_threshold: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            scan_period: Duration::from_us(250),
+            stall_threshold: Duration::from_ms(5),
+        }
+    }
+}
+
+/// Everything [`RouteSim::run_resilient`] needs beyond the worm batch
+/// and the fault plan.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceConfig {
+    /// Route-selection policy among healthy candidates.
+    pub policy: RoutePolicy,
+    /// Oracle or detected failover (see [`FailoverMode`]).
+    pub failover: FailoverMode,
+    /// Retransmission attempts and backoff jitter.
+    pub retry: RetransmitPolicy,
+    /// How long the source waits for the route-byte acknowledgement of
+    /// a hop before declaring the open failed.
+    pub open_timeout: Duration,
+    /// How long after a mid-stream sever the source's delivery timeout
+    /// lapses (the CRC trailer never arrives).
+    pub sever_timeout: Duration,
+    /// Quarantine policy for the per-source health tables.
+    pub health: HealthConfig,
+    /// Watchdog scan cadence and stall threshold.
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            policy: RoutePolicy::Adaptive,
+            failover: FailoverMode::Detected,
+            retry: RetransmitPolicy::default(),
+            open_timeout: Duration::from_us(5),
+            sever_timeout: Duration::from_us(20),
+            health: HealthConfig::default(),
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// Conservation ledger for one resilient run. Everything the registry
+/// publishes reconciles bit-exact against the outcomes:
+/// `offered == delivered + dropped` (and likewise for bytes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Worms submitted.
+    pub offered: u64,
+    /// Payload bytes submitted.
+    pub offered_bytes: u64,
+    /// Worms delivered intact (exactly once).
+    pub delivered: u64,
+    /// Payload bytes delivered intact.
+    pub delivered_bytes: u64,
+    /// Worms dropped after exhausting retransmission attempts.
+    pub dropped: u64,
+    /// Payload bytes dropped.
+    pub dropped_bytes: u64,
+    /// Transmission attempts started (≥ offered).
+    pub transmissions: u64,
+    /// Opens that timed out on a dead link mid-acquisition.
+    pub failed_opens: u64,
+    /// In-flight worms cut by a link death.
+    pub severed: u64,
+    /// Deliveries rejected by the CRC trailer (transient corruption).
+    pub corrupted: u64,
+    /// Link deaths applied from the plan.
+    pub link_downs: u64,
+    /// Scheduled repairs applied.
+    pub repairs: u64,
+    /// Fresh health-table quarantines (first failure of a link).
+    pub quarantines: u64,
+    /// Route picks forced onto quarantined links because every
+    /// candidate on both planes was suspect.
+    pub forced_reprobes: u64,
+    /// Health-table entries cleared by a successful delivery.
+    pub reinstatements: u64,
+    /// Watchdog scans executed.
+    pub scans: u64,
+    /// Orphaned ports (held by severed worms) reclaimed by the
+    /// watchdog's port timeout.
+    pub orphan_reclaims: u64,
+    /// Stalled worms recovered by kill-and-retry.
+    pub recoveries: u64,
+}
+
+impl ResilienceStats {
+    /// Publishes the ledger under `prefix`: conservation counters at
+    /// the root, detection counters under `health/`, recovery counters
+    /// under `watchdog/`.
+    pub fn publish(&self, registry: &mut MetricRegistry, prefix: &str) {
+        registry.count(&format!("{prefix}/offered"), self.offered);
+        registry.count(&format!("{prefix}/offered_bytes"), self.offered_bytes);
+        registry.count(&format!("{prefix}/delivered"), self.delivered);
+        registry.count(&format!("{prefix}/delivered_bytes"), self.delivered_bytes);
+        registry.count(&format!("{prefix}/dropped"), self.dropped);
+        registry.count(&format!("{prefix}/dropped_bytes"), self.dropped_bytes);
+        registry.count(&format!("{prefix}/transmissions"), self.transmissions);
+        registry.count(&format!("{prefix}/severed"), self.severed);
+        registry.count(&format!("{prefix}/corrupted"), self.corrupted);
+        registry.count(&format!("{prefix}/link_downs"), self.link_downs);
+        registry.count(&format!("{prefix}/repairs"), self.repairs);
+        registry.count(&format!("{prefix}/health/failed_opens"), self.failed_opens);
+        registry.count(&format!("{prefix}/health/quarantines"), self.quarantines);
+        registry.count(
+            &format!("{prefix}/health/forced_reprobes"),
+            self.forced_reprobes,
+        );
+        registry.count(
+            &format!("{prefix}/health/reinstatements"),
+            self.reinstatements,
+        );
+        registry.count(&format!("{prefix}/watchdog/scans"), self.scans);
+        registry.count(
+            &format!("{prefix}/watchdog/orphan_reclaims"),
+            self.orphan_reclaims,
+        );
+        registry.count(&format!("{prefix}/watchdog/recoveries"), self.recoveries);
+    }
+}
+
+/// Terminal fate of one worm in a resilient run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WormOutcome {
+    /// Delivered intact; the outcome carries attempts, failovers and
+    /// CRC rejections along the way.
+    Delivered(TransferOutcome),
+    /// Dropped after exhausting retransmission attempts.
+    Dropped {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl WormOutcome {
+    /// The delivery outcome, if the worm made it.
+    pub fn delivered(&self) -> Option<&TransferOutcome> {
+        match self {
+            WormOutcome::Delivered(o) => Some(o),
+            WormOutcome::Dropped { .. } => None,
+        }
+    }
+}
+
+/// Result of a resilient run: per-worm fates plus the conservation
+/// ledger.
+#[derive(Clone, Debug)]
+pub struct ResilientResult {
+    /// Per-worm terminal outcomes, in the order worms were supplied.
+    pub outcomes: Vec<WormOutcome>,
+    /// When the last successful delivery completed.
+    pub finished_at: Time,
+    /// Most worms simultaneously streaming at any instant.
+    pub peak_inflight: usize,
+    /// Route commands that waited for a busy output, summed over every
+    /// crossbar.
+    pub conflicts: u64,
+    /// Worms the adaptive policy steered off the first healthy path.
+    pub detours: u64,
+    /// The conservation ledger.
+    pub stats: ResilienceStats,
+}
+
+impl ResilientResult {
+    /// Payload bytes delivered within `deadline` of injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worms` disagrees in length with the simulated batch.
+    pub fn on_time_bytes(&self, worms: &[Worm], deadline: Duration) -> u64 {
+        assert_eq!(worms.len(), self.outcomes.len(), "batch mismatch");
+        worms
+            .iter()
+            .zip(&self.outcomes)
+            .filter_map(|(w, o)| o.delivered().map(|d| (w, d)))
+            .filter(|(w, d)| d.finished <= w.inject_at + deadline)
+            .map(|(w, _)| u64::from(w.payload))
+            .sum()
+    }
+
+    /// Fraction of offered payload bytes delivered intact (eventually,
+    /// not necessarily on time).
+    pub fn availability(&self) -> f64 {
+        if self.stats.offered_bytes == 0 {
+            return 1.0;
+        }
+        self.stats.delivered_bytes as f64 / self.stats.offered_bytes as f64
+    }
+}
+
 /// Per-worm in-flight bookkeeping (pooled, reset per run).
 #[derive(Clone, Copy, Debug)]
 struct WormState {
@@ -125,6 +411,108 @@ struct WormState {
     /// Head time: when the route byte is ready to cross the next link
     /// (or, while blocked, when it asked for the contended port).
     head_at: Time,
+}
+
+/// Lifecycle of a worm under the resilient run loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RPhase {
+    /// Not yet injected (or queued behind its source interface).
+    Idle,
+    /// Acquiring ports; waiting on a contended output.
+    Blocked,
+    /// Full route established; payload streaming.
+    Streaming,
+    /// Attempt failed; waiting out the retransmission backoff.
+    Backoff,
+    /// Terminal: delivered intact.
+    Delivered,
+    /// Terminal: retransmission attempts exhausted.
+    Dropped,
+}
+
+/// Per-worm resilience bookkeeping (pooled, reset per run).
+#[derive(Clone, Copy, Debug)]
+struct RWorm {
+    phase: RPhase,
+    /// Transmission attempts started.
+    attempts: u32,
+    /// CRC-rejected deliveries along the way.
+    crc_failures: u32,
+    /// Times this worm was cut mid-flight by a link death.
+    severed: u32,
+    /// Plane of the current attempt.
+    plane: u32,
+    /// Ever carried on the non-preferred plane.
+    failed_over: bool,
+    /// Ever carried off the first candidate (or off-plane).
+    rerouted: bool,
+    /// Start of the current attempt's link span in the link arena
+    /// (`nlinks` keys: in-link of each hop, then the final out-link).
+    lstart: usize,
+    nlinks: usize,
+    /// When the current attempt started (kill-and-retry targets the
+    /// youngest stalled worm).
+    started_at: Time,
+    /// Progress epoch: bumps on every port acquisition.
+    epoch: u64,
+    /// Epoch observed by the previous watchdog scan.
+    last_epoch: u64,
+    /// Scheduled completion of the current streaming attempt (stale
+    /// `Done` events are recognised by mismatch).
+    done_at: Time,
+}
+
+impl RWorm {
+    const IDLE: RWorm = RWorm {
+        phase: RPhase::Idle,
+        attempts: 0,
+        crc_failures: 0,
+        severed: 0,
+        plane: 0,
+        failed_over: false,
+        rerouted: false,
+        lstart: 0,
+        nlinks: 0,
+        started_at: Time::ZERO,
+        epoch: 0,
+        last_epoch: 0,
+        done_at: Time::ZERO,
+    };
+}
+
+/// A scheduled change to the physical link state.
+#[derive(Clone, Copy, Debug)]
+enum FaultChange {
+    Down,
+    Up,
+}
+
+/// Events of the resilient run loop (completions share the queue with
+/// retries, faults and watchdog scans).
+#[derive(Clone, Copy, Debug)]
+enum REvent {
+    /// A streaming worm's last byte reached the destination.
+    Done(usize),
+    /// A backoff lapsed; retransmit.
+    Retry(usize),
+    /// Apply entry `i` of the resolved fault schedule.
+    Fault(usize),
+    /// Watchdog scan: reclaim orphans, kill-and-retry stalled worms.
+    Scan,
+}
+
+/// Canonical link keys crossed by a hop span: the in-link of each hop
+/// followed by the final hop's out-link (`hops.len() + 1` keys).
+fn hop_links(hops: &[Hop], links: &mut [LinkKey; 4]) -> usize {
+    let n = hops.len();
+    links[0] = (hops[0].xbar, hops[0].in_port);
+    for j in 1..n {
+        let a = (hops[j - 1].xbar, hops[j - 1].out_port);
+        let b = (hops[j].xbar, hops[j].in_port);
+        links[j] = a.min(b);
+    }
+    links[n] = (hops[n - 1].xbar, hops[n - 1].out_port);
+    n + 1
 }
 
 /// A reusable multi-crossbar wormhole simulator over one topology.
@@ -171,6 +559,33 @@ pub struct RouteSim {
     inflight: usize,
     peak_inflight: usize,
     detours: u64,
+
+    // --- pooled fault-aware state (run_resilient only) ---
+    /// Per global output port: canonical key of the wired link, if any
+    /// (fault-ref resolution).
+    port_link: Vec<Option<LinkKey>>,
+    /// Per-worm resilience bookkeeping.
+    rstates: Vec<RWorm>,
+    /// Flat link-key arena: every attempt's span, contiguous.
+    link_arena: Vec<LinkKey>,
+    /// Truth: links physically dead right now (small, scanned).
+    dead: Vec<LinkKey>,
+    /// Per source node: its learned view of link health.
+    health: Vec<HealthTable>,
+    /// Ports held by severed worms, awaiting the watchdog's port
+    /// timeout: `(xbar, out_port)`.
+    orphans: Vec<(usize, u32)>,
+    /// Resolved fault schedule: time-sorted deaths and repairs.
+    fault_sched: Vec<(Time, FaultChange, LinkKey)>,
+    /// Resilient-run event heap (completions, retries, faults, scans).
+    revents: EventQueue<REvent>,
+    /// Healthy-candidate scratch: indices into `cand_spans`.
+    cand_ok: Vec<usize>,
+    /// Transient-corruption stream for the current run.
+    injector: Option<TransientInjector>,
+    /// Worms not yet terminal.
+    live: usize,
+    rstats: ResilienceStats,
 }
 
 impl RouteSim {
@@ -187,6 +602,7 @@ impl RouteSim {
         let mut port_base = Vec::with_capacity(nx);
         let mut attach = [vec![None; nodes], vec![None; nodes]];
         let mut xbar_adj: Vec<Vec<(u32, usize, u32)>> = vec![Vec::new(); nx];
+        let mut port_link: Vec<Option<LinkKey>> = Vec::new();
         let mut total_ports = 0usize;
         for (x, adj) in xbar_adj.iter_mut().enumerate() {
             let cfg = topology.crossbar_config(x);
@@ -197,11 +613,13 @@ impl RouteSim {
                 match topology.port_peer(x, p) {
                     Some((Endpoint::Node { node, link }, _)) => {
                         attach[link as usize][node] = Some((x, p));
+                        port_link.push(Some((x, p)));
                     }
                     Some((Endpoint::Xbar { xbar, port }, _)) => {
                         adj.push((p, xbar, port));
+                        port_link.push(Some((x, p).min((xbar, port))));
                     }
-                    None => {}
+                    None => port_link.push(None),
                 }
             }
         }
@@ -226,6 +644,18 @@ impl RouteSim {
             inflight: 0,
             peak_inflight: 0,
             detours: 0,
+            port_link,
+            rstates: Vec::new(),
+            link_arena: Vec::new(),
+            dead: Vec::new(),
+            health: vec![HealthTable::new(); nodes],
+            orphans: Vec::new(),
+            fault_sched: Vec::new(),
+            revents: EventQueue::new(),
+            cand_ok: Vec::new(),
+            injector: None,
+            live: 0,
+            rstats: ResilienceStats::default(),
         }
     }
 
@@ -495,6 +925,697 @@ impl RouteSim {
         self.src_busy[src] = false;
         self.start_next(worms, src, now, policy);
     }
+
+    // ------------------------------------------------------------------
+    // Resilient run loop: faults, online health, retransmission, and the
+    // progress watchdog.
+    // ------------------------------------------------------------------
+
+    /// Simulates `worms` under `plan`'s faults with retransmission and
+    /// — in [`FailoverMode::Detected`] — purely symptom-driven
+    /// route-around: the fault schedule only moves physical link state;
+    /// route selection sees it exclusively through the per-source
+    /// [`HealthTable`]s.
+    ///
+    /// Returns [`FaultPlanError::UnknownLink`] if the plan names a link
+    /// this topology lacks (application-time validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unattached worm endpoints, as [`RouteSim::run`] does.
+    pub fn run_resilient(
+        &mut self,
+        worms: &[Worm],
+        plan: &FaultPlan,
+        cfg: &ResilienceConfig,
+    ) -> Result<ResilientResult, FaultPlanError> {
+        self.reset(worms);
+        self.reset_resilient(worms, plan, cfg)?;
+        let mut cursor = 0;
+        while cursor < self.order.len() {
+            let at = worms[self.order[cursor]].inject_at;
+            if let Some((now, ev)) = self.revents.pop_if_before(at) {
+                self.on_revent(worms, ev, now, cfg);
+            } else {
+                let w = self.order[cursor];
+                cursor += 1;
+                let src = worms[w].src;
+                self.src_queue[src].push_back(w);
+                if !self.src_busy[src] {
+                    self.start_next_r(worms, src, at, cfg);
+                }
+            }
+        }
+        while let Some((now, ev)) = self.revents.pop() {
+            self.on_revent(worms, ev, now, cfg);
+        }
+        assert_eq!(self.live, 0, "resilient run left worms unresolved");
+        let outcomes = worms
+            .iter()
+            .enumerate()
+            .map(|(w, worm)| {
+                let rs = &self.rstates[w];
+                match rs.phase {
+                    RPhase::Delivered => {
+                        let done = self.completions[w];
+                        let mut o = TransferOutcome::streamed(
+                            done,
+                            done,
+                            u64::from(worm.payload),
+                            rs.plane,
+                        );
+                        o.attempts = rs.attempts;
+                        o.crc_failures = rs.crc_failures;
+                        o.severed = rs.severed;
+                        o.failed_over = rs.failed_over;
+                        o.rerouted = rs.rerouted;
+                        WormOutcome::Delivered(o)
+                    }
+                    RPhase::Dropped => WormOutcome::Dropped {
+                        attempts: rs.attempts,
+                    },
+                    phase => unreachable!("worm {w} ended in non-terminal phase {phase:?}"),
+                }
+            })
+            .collect();
+        Ok(ResilientResult {
+            outcomes,
+            finished_at: self.finished_at,
+            peak_inflight: self.peak_inflight,
+            conflicts: self.crossbars.iter().map(Crossbar::conflicts).sum(),
+            detours: self.detours,
+            stats: self.rstats,
+        })
+    }
+
+    /// Validates and resolves the fault plan, then arms the resilient
+    /// pools: per-worm bookkeeping, health tables, the event heap
+    /// (fault schedule + first watchdog scan), and the transient
+    /// injector.
+    fn reset_resilient(
+        &mut self,
+        worms: &[Worm],
+        plan: &FaultPlan,
+        cfg: &ResilienceConfig,
+    ) -> Result<(), FaultPlanError> {
+        self.fault_sched.clear();
+        for d in plan.schedule() {
+            let key = self
+                .resolve_link(d.link)
+                .ok_or(FaultPlanError::UnknownLink(d.link))?;
+            self.fault_sched.push((d.at, FaultChange::Down, key));
+        }
+        for r in plan.repairs() {
+            let key = self
+                .resolve_link(r.link)
+                .ok_or(FaultPlanError::UnknownLink(r.link))?;
+            self.fault_sched.push((r.at, FaultChange::Up, key));
+        }
+        // Stable: a death and repair at the same instant apply in
+        // schedule order (deaths first), deterministically.
+        self.fault_sched.sort_by_key(|&(at, _, _)| at);
+        self.revents.clear();
+        let sched = &self.fault_sched;
+        self.revents.schedule_batch(
+            sched
+                .iter()
+                .enumerate()
+                .map(|(i, &(at, _, _))| (at, REvent::Fault(i))),
+        );
+        self.rstates.clear();
+        self.rstates.resize(worms.len(), RWorm::IDLE);
+        self.link_arena.clear();
+        self.dead.clear();
+        self.orphans.clear();
+        self.health.iter_mut().for_each(HealthTable::clear);
+        self.injector = Some(TransientInjector::new(plan));
+        self.live = worms.len();
+        self.rstats = ResilienceStats {
+            offered: worms.len() as u64,
+            offered_bytes: worms.iter().map(|w| u64::from(w.payload)).sum(),
+            ..ResilienceStats::default()
+        };
+        if self.live > 0 {
+            self.revents
+                .schedule(Time::ZERO + cfg.watchdog.scan_period, REvent::Scan);
+        }
+        Ok(())
+    }
+
+    /// The health table `src` learned during the last resilient run.
+    /// Only [`FailoverMode::Detected`] runs ever write it; every
+    /// resilient run clears it at start, so this reads the final state
+    /// of the most recent run (convergence checks, diagnostics).
+    pub fn health_table(&self, src: usize) -> &HealthTable {
+        &self.health[src]
+    }
+
+    /// Resolves a fault-plan link reference against the compiled
+    /// topology tables.
+    fn resolve_link(&self, link: LinkRef) -> Option<LinkKey> {
+        match link {
+            LinkRef::NodeLink { node, plane } => {
+                let lane = self.attach.get(plane as usize)?;
+                let &(x, p) = lane.get(node)?.as_ref()?;
+                Some((x, p))
+            }
+            LinkRef::XbarPort { xbar, port } => {
+                if xbar >= self.crossbars.len() {
+                    return None;
+                }
+                let base = self.port_base[xbar];
+                let end = self
+                    .port_base
+                    .get(xbar + 1)
+                    .copied()
+                    .unwrap_or(self.port_link.len());
+                let slot = base + port as usize;
+                if slot >= end {
+                    return None;
+                }
+                self.port_link[slot]
+            }
+        }
+    }
+
+    fn on_revent(&mut self, worms: &[Worm], ev: REvent, now: Time, cfg: &ResilienceConfig) {
+        match ev {
+            REvent::Done(w) => self.on_done_r(worms, w, now, cfg),
+            REvent::Retry(w) => {
+                if self.rstates[w].phase == RPhase::Backoff {
+                    self.start_attempt(worms, w, now, cfg);
+                }
+            }
+            REvent::Fault(i) => {
+                let (_, change, key) = self.fault_sched[i];
+                self.apply_fault(worms, change, key, now, cfg);
+            }
+            REvent::Scan => self.watchdog_scan(worms, now, cfg),
+        }
+    }
+
+    /// Starts the next queued worm at source `src`, if any.
+    fn start_next_r(&mut self, worms: &[Worm], src: NodeId, now: Time, cfg: &ResilienceConfig) {
+        let Some(&w) = self.src_queue[src].front() else {
+            return;
+        };
+        self.src_queue[src].pop_front();
+        self.src_busy[src] = true;
+        self.start_attempt(worms, w, now.max(worms[w].inject_at), cfg);
+    }
+
+    /// Begins one transmission attempt: pick a route the failover mode
+    /// permits, stamp the link span, and start acquiring ports. With no
+    /// permissible route (oracle view: everything dead), the attempt is
+    /// spent and the worm backs off — a repair may land meanwhile.
+    fn start_attempt(&mut self, worms: &[Worm], w: usize, now: Time, cfg: &ResilienceConfig) {
+        let worm = worms[w];
+        self.rstates[w].attempts += 1;
+        self.rstats.transmissions += 1;
+        self.rstates[w].started_at = now;
+        match self.pick_route(worm, now, cfg) {
+            Some(pick) => {
+                let span_start = self.arena.len();
+                self.arena
+                    .extend_from_slice(&self.cand_hops[pick.start..pick.start + pick.len]);
+                let lstart = self.link_arena.len();
+                self.link_arena
+                    .extend_from_slice(&pick.links[..pick.len + 1]);
+                if pick.forced_reprobe {
+                    self.rstats.forced_reprobes += 1;
+                }
+                let rs = &mut self.rstates[w];
+                rs.plane = pick.plane;
+                rs.failed_over |= pick.plane != worm.plane;
+                rs.rerouted |= pick.index != 0 || pick.plane != worm.plane;
+                rs.lstart = lstart;
+                rs.nlinks = pick.len + 1;
+                rs.phase = RPhase::Blocked;
+                self.states[w] = WormState {
+                    span_start,
+                    span_len: pick.len,
+                    acquired: 0,
+                    head_at: now,
+                };
+                self.advance_r(worms, w, cfg);
+            }
+            None => self.retry_or_drop(worms, w, now, cfg),
+        }
+    }
+
+    /// Picks a route for one attempt. Tries the preferred plane then
+    /// the other; on each, candidates whose links the failover mode
+    /// considers bad are filtered before the policy chooses. In
+    /// detected mode, if every candidate on both planes is quarantined,
+    /// the pick is forced onto the candidate whose worst quarantine
+    /// lapses soonest (a deliberate re-probe — without it a source
+    /// whose whole view went dark could never recover).
+    fn pick_route(&mut self, worm: Worm, now: Time, cfg: &ResilienceConfig) -> Option<Pick> {
+        let planes = [worm.plane, 1 - worm.plane];
+        for &plane in &planes {
+            self.enumerate_candidates(worm.src, worm.dst, plane);
+            self.cand_ok.clear();
+            let mut links = [(0usize, 0u32); 4];
+            for (i, &(start, len)) in self.cand_spans.iter().enumerate() {
+                let n = hop_links(&self.cand_hops[start..start + len], &mut links);
+                let bad = match cfg.failover {
+                    FailoverMode::Oracle => links[..n].iter().any(|k| self.dead.contains(k)),
+                    FailoverMode::Detected => {
+                        let ht = &self.health[worm.src];
+                        links[..n].iter().any(|&k| ht.is_quarantined(k, now))
+                    }
+                };
+                if !bad {
+                    self.cand_ok.push(i);
+                }
+            }
+            if let Some(index) = self.choose_ok(cfg.policy) {
+                let (start, len) = self.cand_spans[index];
+                let mut links = [(0usize, 0u32); 4];
+                hop_links(&self.cand_hops[start..start + len], &mut links);
+                return Some(Pick {
+                    start,
+                    len,
+                    links,
+                    plane,
+                    index,
+                    forced_reprobe: false,
+                });
+            }
+        }
+        if cfg.failover != FailoverMode::Detected {
+            return None;
+        }
+        // Forced re-probe: everything this source knows is quarantined.
+        let mut best: Option<(Time, usize, usize)> = None; // (lapse, plane_rank, index)
+        for (rank, &plane) in planes.iter().enumerate() {
+            self.enumerate_candidates(worm.src, worm.dst, plane);
+            let mut links = [(0usize, 0u32); 4];
+            for (i, &(start, len)) in self.cand_spans.iter().enumerate() {
+                let n = hop_links(&self.cand_hops[start..start + len], &mut links);
+                let lapse = links[..n]
+                    .iter()
+                    .filter_map(|&k| self.health[worm.src].quarantined_until(k))
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                let key = (lapse, rank, i);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (_, rank, index) = best?;
+        let plane = planes[rank];
+        self.enumerate_candidates(worm.src, worm.dst, plane);
+        let (start, len) = self.cand_spans[index];
+        let mut links = [(0usize, 0u32); 4];
+        hop_links(&self.cand_hops[start..start + len], &mut links);
+        Some(Pick {
+            start,
+            len,
+            links,
+            plane,
+            index,
+            forced_reprobe: true,
+        })
+    }
+
+    /// Chooses among the healthy candidates in `cand_ok` per `policy`
+    /// (same ranking as [`RouteSim::choose`], restricted to the healthy
+    /// subset). `None` if no candidate survived the health filter.
+    fn choose_ok(&mut self, policy: RoutePolicy) -> Option<usize> {
+        match policy {
+            RoutePolicy::Oblivious => self.cand_ok.first().copied(),
+            RoutePolicy::Adaptive => {
+                let mut best: Option<(usize, u64, usize)> = None;
+                for &i in &self.cand_ok {
+                    let (start, len) = self.cand_spans[i];
+                    let mut held = 0usize;
+                    let mut conflicts = 0u64;
+                    for h in &self.cand_hops[start..start + len] {
+                        let xb = &self.crossbars[h.xbar];
+                        held += usize::from(xb.is_held(h.out_port));
+                        conflicts += xb.port_conflicts(h.out_port);
+                    }
+                    let key = (held, conflicts, i);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                let (_, _, i) = best?;
+                if i != 0 {
+                    self.detours += 1;
+                }
+                Some(i)
+            }
+        }
+    }
+
+    /// Resilient port acquisition: like [`RouteSim::advance`], but every
+    /// link is checked against the physical dead set before the route
+    /// byte crosses it — a dead cable swallows the byte and the open
+    /// times out at the source (this is *physics*, identical in both
+    /// failover modes; only route *choice* differs between them).
+    fn advance_r(&mut self, worms: &[Worm], w: usize, cfg: &ResilienceConfig) {
+        let mut st = self.states[w];
+        let lstart = self.rstates[w].lstart;
+        while st.acquired < st.span_len {
+            let in_key = self.link_arena[lstart + st.acquired];
+            let want = st.head_at + self.byte_time;
+            if self.dead.contains(&in_key) {
+                self.states[w] = st;
+                self.fail_open(worms, w, in_key, want + cfg.open_timeout, cfg);
+                return;
+            }
+            let h = self.arena[st.span_start + st.acquired];
+            if self.crossbars[h.xbar].is_held(h.out_port) {
+                st.head_at = want;
+                self.states[w] = st;
+                self.rstates[w].phase = RPhase::Blocked;
+                self.waiters[self.port_base[h.xbar] + h.out_port as usize].push_back(w);
+                return;
+            }
+            let grant = self.crossbars[h.xbar].route(h.in_port, h.out_port, want);
+            st.head_at = grant.established;
+            st.acquired += 1;
+            self.rstates[w].epoch += 1;
+        }
+        // Full route held: the final link into the destination node must
+        // also be up before the payload can stream.
+        let out_key = self.link_arena[lstart + st.span_len];
+        if self.dead.contains(&out_key) {
+            self.states[w] = st;
+            self.fail_open(
+                worms,
+                w,
+                out_key,
+                st.head_at + self.byte_time + cfg.open_timeout,
+                cfg,
+            );
+            return;
+        }
+        self.states[w] = st;
+        self.rstates[w].phase = RPhase::Streaming;
+        self.inflight += 1;
+        self.peak_inflight = self.peak_inflight.max(self.inflight);
+        let done = st.head_at + self.byte_time * (u64::from(worms[w].payload) + 1);
+        self.rstates[w].done_at = done;
+        self.revents.schedule(done, REvent::Done(w));
+    }
+
+    /// An open failed: the route byte vanished into `key` and the
+    /// source's open timeout lapsed at `detect_at`. Tear down the
+    /// partial route, record the symptom, retry.
+    fn fail_open(
+        &mut self,
+        worms: &[Worm],
+        w: usize,
+        key: LinkKey,
+        detect_at: Time,
+        cfg: &ResilienceConfig,
+    ) {
+        self.rstats.failed_opens += 1;
+        self.rstates[w].phase = RPhase::Backoff;
+        let acquired = self.states[w].acquired;
+        self.release_span(worms, w, 0, acquired, detect_at, cfg);
+        self.learn_failure(worms[w].src, key, detect_at, cfg);
+        self.retry_or_drop(worms, w, detect_at, cfg);
+    }
+
+    /// Records a failure symptom in the source's health table (detected
+    /// mode only — the oracle needs no ledger).
+    fn learn_failure(&mut self, src: NodeId, key: LinkKey, at: Time, cfg: &ResilienceConfig) {
+        if cfg.failover != FailoverMode::Detected {
+            return;
+        }
+        if self.health[src].record_failure(key, at, &cfg.health) {
+            self.rstats.quarantines += 1;
+        }
+    }
+
+    /// Releases hops `from..upto` of `w`'s span: close each output in
+    /// order (staggered one byte time apart, like a close byte trailing
+    /// through) and wake the longest-blocked waiter per freed port.
+    fn release_span(
+        &mut self,
+        worms: &[Worm],
+        w: usize,
+        from: usize,
+        upto: usize,
+        mut close_at: Time,
+        cfg: &ResilienceConfig,
+    ) {
+        let st = self.states[w];
+        for k in from..upto {
+            let h = self.arena[st.span_start + k];
+            self.crossbars[h.xbar].close(h.out_port, close_at);
+            self.wake_waiter(worms, h.xbar, h.out_port, cfg);
+            close_at += self.byte_time;
+        }
+    }
+
+    /// Grants a freed port to its longest-blocked waiter, if any, and
+    /// lets that worm continue acquiring.
+    fn wake_waiter(&mut self, worms: &[Worm], xbar: usize, out_port: u32, cfg: &ResilienceConfig) {
+        let port = self.port_base[xbar] + out_port as usize;
+        let Some(waiter) = self.waiters[port].pop_front() else {
+            return;
+        };
+        let ws = self.states[waiter];
+        let wh = self.arena[ws.span_start + ws.acquired];
+        let grant = self.crossbars[wh.xbar].route(wh.in_port, wh.out_port, ws.head_at);
+        self.states[waiter].head_at = grant.established;
+        self.states[waiter].acquired += 1;
+        self.rstates[waiter].epoch += 1;
+        self.advance_r(worms, waiter, cfg);
+    }
+
+    /// Spends the failed attempt: schedule a jittered-backoff retry, or
+    /// drop the worm if its attempts are exhausted (freeing the source
+    /// interface for its next queued worm).
+    fn retry_or_drop(&mut self, worms: &[Worm], w: usize, now: Time, cfg: &ResilienceConfig) {
+        if self.rstates[w].attempts >= cfg.retry.max_attempts {
+            self.rstates[w].phase = RPhase::Dropped;
+            self.rstats.dropped += 1;
+            self.rstats.dropped_bytes += u64::from(worms[w].payload);
+            self.live -= 1;
+            let src = worms[w].src;
+            self.src_busy[src] = false;
+            self.start_next_r(worms, src, now, cfg);
+        } else {
+            self.rstates[w].phase = RPhase::Backoff;
+            let gap = cfg.retry.gap_after(w as u64, self.rstates[w].attempts);
+            self.revents.schedule(now + gap, REvent::Retry(w));
+        }
+    }
+
+    /// A streaming worm's completion event fired. Stale events (the
+    /// attempt was severed meanwhile) are recognised and ignored. The
+    /// CRC trailer is checked at the destination: transient corruption
+    /// rejects the delivery and the source retransmits.
+    fn on_done_r(&mut self, worms: &[Worm], w: usize, now: Time, cfg: &ResilienceConfig) {
+        {
+            let rs = &self.rstates[w];
+            if rs.phase != RPhase::Streaming || rs.done_at != now {
+                return;
+            }
+        }
+        self.inflight -= 1;
+        let span_len = self.states[w].span_len;
+        self.release_span(worms, w, 0, span_len, now, cfg);
+        let payload = worms[w].payload;
+        let corrupted = self
+            .injector
+            .as_mut()
+            .expect("resilient run armed the injector")
+            .draw(payload as usize)
+            .is_some();
+        if corrupted {
+            self.rstates[w].crc_failures += 1;
+            self.rstates[w].phase = RPhase::Backoff;
+            self.rstats.corrupted += 1;
+            self.retry_or_drop(worms, w, now, cfg);
+            return;
+        }
+        self.rstates[w].phase = RPhase::Delivered;
+        self.completions[w] = now;
+        self.finished_at = self.finished_at.max(now);
+        self.rstats.delivered += 1;
+        self.rstats.delivered_bytes += u64::from(payload);
+        self.live -= 1;
+        if cfg.failover == FailoverMode::Detected {
+            // A delivery is positive evidence for every link it crossed:
+            // lapsed-quarantine re-probes get reinstated here.
+            let (lstart, nlinks) = (self.rstates[w].lstart, self.rstates[w].nlinks);
+            let src = worms[w].src;
+            for j in 0..nlinks {
+                let key = self.link_arena[lstart + j];
+                if self.health[src].record_success(key) {
+                    self.rstats.reinstatements += 1;
+                }
+            }
+        }
+        let src = worms[w].src;
+        self.src_busy[src] = false;
+        self.start_next_r(worms, src, now, cfg);
+    }
+
+    /// Applies a scheduled physical link-state change. A death severs
+    /// every worm whose occupied span crosses the link.
+    fn apply_fault(
+        &mut self,
+        worms: &[Worm],
+        change: FaultChange,
+        key: LinkKey,
+        now: Time,
+        cfg: &ResilienceConfig,
+    ) {
+        match change {
+            FaultChange::Up => {
+                if let Some(i) = self.dead.iter().position(|&k| k == key) {
+                    self.dead.swap_remove(i);
+                    self.rstats.repairs += 1;
+                }
+            }
+            FaultChange::Down => {
+                if self.dead.contains(&key) {
+                    return;
+                }
+                self.dead.push(key);
+                self.rstats.link_downs += 1;
+                for w in 0..worms.len() {
+                    let (phase, lstart, nlinks) = {
+                        let rs = &self.rstates[w];
+                        (rs.phase, rs.lstart, rs.nlinks)
+                    };
+                    // Links the worm physically occupies right now: a
+                    // streaming worm spans all of them; a blocked worm
+                    // has crossed the in-links of its acquired hops plus
+                    // the one it is asking over.
+                    let occupied = match phase {
+                        RPhase::Streaming => nlinks,
+                        RPhase::Blocked => (self.states[w].acquired + 1).min(nlinks),
+                        _ => continue,
+                    };
+                    let Some(cut) = (0..occupied).find(|&j| self.link_arena[lstart + j] == key)
+                    else {
+                        continue;
+                    };
+                    self.sever(worms, w, cut, now, cfg);
+                }
+            }
+        }
+    }
+
+    /// Cuts worm `w` at link index `cut` of its span. Hops upstream of
+    /// the cut are torn down by the source; hops at or past it are
+    /// unreachable — their ports stay held (orphaned) until the
+    /// watchdog's port timeout reclaims them. The source only learns of
+    /// the loss when its delivery timeout lapses.
+    fn sever(&mut self, worms: &[Worm], w: usize, cut: usize, now: Time, cfg: &ResilienceConfig) {
+        let st = self.states[w];
+        self.rstats.severed += 1;
+        self.rstates[w].severed += 1;
+        let held = match self.rstates[w].phase {
+            RPhase::Streaming => {
+                self.inflight -= 1;
+                st.span_len
+            }
+            RPhase::Blocked => {
+                // Leave the waiter queue it sits in.
+                let h = self.arena[st.span_start + st.acquired];
+                let port = self.port_base[h.xbar] + h.out_port as usize;
+                if let Some(pos) = self.waiters[port].iter().position(|&x| x == w) {
+                    self.waiters[port].remove(pos);
+                }
+                st.acquired
+            }
+            phase => unreachable!("severing a worm in phase {phase:?}"),
+        };
+        self.rstates[w].phase = RPhase::Backoff;
+        let reachable = cut.min(held);
+        self.release_span(worms, w, 0, reachable, now, cfg);
+        for k in reachable..held {
+            let h = self.arena[st.span_start + k];
+            self.orphans.push((h.xbar, h.out_port));
+        }
+        let detect_at = now + cfg.sever_timeout;
+        self.learn_failure(
+            worms[w].src,
+            self.link_arena[self.rstates[w].lstart + cut],
+            detect_at,
+            cfg,
+        );
+        self.retry_or_drop(worms, w, detect_at, cfg);
+    }
+
+    /// One watchdog scan: reclaim every orphaned port (the hardware
+    /// port timeout), then kill-and-retry at most one stalled worm —
+    /// the *youngest* blocked worm whose progress epoch did not advance
+    /// since the previous scan and whose wait exceeds the threshold.
+    /// Killing the youngest frees the resources the oldest (closest to
+    /// done) are waiting on without sacrificing their progress.
+    fn watchdog_scan(&mut self, worms: &[Worm], now: Time, cfg: &ResilienceConfig) {
+        self.rstats.scans += 1;
+        while let Some((xbar, port)) = self.orphans.pop() {
+            self.crossbars[xbar].close(port, now);
+            self.rstats.orphan_reclaims += 1;
+            self.wake_waiter(worms, xbar, port, cfg);
+        }
+        let mut victim: Option<(Time, usize)> = None;
+        for w in 0..worms.len() {
+            if self.rstates[w].phase != RPhase::Blocked {
+                continue;
+            }
+            let progressed = self.rstates[w].epoch != self.rstates[w].last_epoch;
+            self.rstates[w].last_epoch = self.rstates[w].epoch;
+            if progressed {
+                continue;
+            }
+            if self.states[w].head_at + cfg.watchdog.stall_threshold > now {
+                continue;
+            }
+            let key = (self.rstates[w].started_at, w);
+            if victim.is_none_or(|v| key > v) {
+                victim = Some(key);
+            }
+        }
+        if let Some((_, w)) = victim {
+            self.rstats.recoveries += 1;
+            self.kill_and_retry(worms, w, now, cfg);
+        }
+        if self.live > 0 {
+            self.revents
+                .schedule(now + cfg.watchdog.scan_period, REvent::Scan);
+        }
+    }
+
+    /// Kills a stalled blocked worm — removes it from its waiter queue,
+    /// releases everything it holds (waking waiters) — and retries it
+    /// under the normal backoff, route re-picked from current
+    /// knowledge. No payload was streaming, so nothing is lost.
+    fn kill_and_retry(&mut self, worms: &[Worm], w: usize, now: Time, cfg: &ResilienceConfig) {
+        let st = self.states[w];
+        let h = self.arena[st.span_start + st.acquired];
+        let port = self.port_base[h.xbar] + h.out_port as usize;
+        if let Some(pos) = self.waiters[port].iter().position(|&x| x == w) {
+            self.waiters[port].remove(pos);
+        }
+        self.rstates[w].phase = RPhase::Backoff;
+        self.release_span(worms, w, 0, st.acquired, now, cfg);
+        self.retry_or_drop(worms, w, now, cfg);
+    }
+}
+
+/// A chosen route for one attempt: span bounds in the candidate
+/// scratch, its link keys, and how it was picked.
+struct Pick {
+    start: usize,
+    len: usize,
+    links: [LinkKey; 4],
+    plane: u32,
+    index: usize,
+    forced_reprobe: bool,
 }
 
 /// A perfect hierarchical permutation: node `(c, l)` sends to local
@@ -736,5 +1857,292 @@ mod tests {
         // payload from the on-time ledger.
         let tight = r.completions[0].since(Time::ZERO);
         assert_eq!(r.on_time_bytes(&worms, tight), 4096);
+    }
+
+    // --- resilient runs ---
+
+    fn worm(src: usize, dst: usize, payload: u32, inject_at: Time) -> Worm {
+        Worm {
+            src,
+            dst,
+            plane: 0,
+            payload,
+            inject_at,
+        }
+    }
+
+    fn assert_conserved(r: &ResilientResult) {
+        assert_eq!(r.stats.offered, r.stats.delivered + r.stats.dropped);
+        assert_eq!(
+            r.stats.offered_bytes,
+            r.stats.delivered_bytes + r.stats.dropped_bytes
+        );
+        let delivered_bytes: u64 = r
+            .outcomes
+            .iter()
+            .filter_map(|o| o.delivered().map(|d| d.bytes))
+            .sum();
+        assert_eq!(delivered_bytes, r.stats.delivered_bytes);
+    }
+
+    #[test]
+    fn severed_worm_fails_over_to_the_other_plane() {
+        let (_, mut s) = sim128();
+        let worms = vec![worm(0, 127, 4096, Time::ZERO)];
+        // Kill the source's plane-0 cable while the payload streams
+        // (the worm establishes in under a microsecond and streams for
+        // ~68 us).
+        let plan = FaultPlan::clean(7).kill_link(
+            Time::ZERO + Duration::from_us(30),
+            LinkRef::NodeLink { node: 0, plane: 0 },
+        );
+        let cfg = ResilienceConfig::default();
+        let r = s.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+        let d = r.outcomes[0].delivered().expect("retransmission delivers");
+        assert_eq!(d.attempts, 2);
+        assert_eq!(d.severed, 1);
+        assert!(d.failed_over, "plane 0 is quarantined at the source");
+        assert_eq!(d.plane, 1);
+        assert_eq!(r.stats.severed, 1);
+        assert_eq!(r.stats.link_downs, 1);
+        assert_eq!(r.stats.quarantines, 1);
+        // All three hops were downstream of the cut: orphaned, then
+        // reclaimed by the watchdog's port timeout.
+        assert_eq!(r.stats.orphan_reclaims, 3);
+        assert_conserved(&r);
+    }
+
+    #[test]
+    fn failed_open_is_learned_and_avoided() {
+        let (t, mut s) = sim128();
+        // Kill the first candidate's uplink-to-middle cable before any
+        // worm starts.
+        let route = &t.equivalent_routes(0, 127, 0, &Default::default())[0];
+        let keys = t.route_link_keys(route);
+        let (xbar, port) = keys[1];
+        let plan = FaultPlan::clean(7).kill_link(Time::ZERO, LinkRef::XbarPort { xbar, port });
+        let worms = vec![
+            worm(0, 127, 1024, Time::ZERO + Duration::from_us(1)),
+            worm(0, 127, 1024, Time::ZERO + Duration::from_us(2)),
+        ];
+        let cfg = ResilienceConfig {
+            policy: RoutePolicy::Oblivious,
+            ..ResilienceConfig::default()
+        };
+        let r = s.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+        // The first worm probes the dead uplink (one failed open), and
+        // its quarantine spares the second worm the probe entirely.
+        let a = r.outcomes[0].delivered().expect("worm 0 delivers");
+        let b = r.outcomes[1].delivered().expect("worm 1 delivers");
+        assert_eq!(a.attempts, 2);
+        assert!(a.rerouted && !a.failed_over);
+        assert_eq!(b.attempts, 1);
+        assert!(b.rerouted, "worm 1 reroutes on learned knowledge alone");
+        assert_eq!(r.stats.failed_opens, 1);
+        assert_eq!(r.stats.quarantines, 1);
+        assert_conserved(&r);
+    }
+
+    #[test]
+    fn oracle_failover_routes_around_without_probing() {
+        let (t, mut s) = sim128();
+        let route = &t.equivalent_routes(0, 127, 0, &Default::default())[0];
+        let keys = t.route_link_keys(route);
+        let (xbar, port) = keys[1];
+        let plan = FaultPlan::clean(7).kill_link(Time::ZERO, LinkRef::XbarPort { xbar, port });
+        let worms = vec![worm(0, 127, 1024, Time::ZERO + Duration::from_us(1))];
+        let cfg = ResilienceConfig {
+            policy: RoutePolicy::Oblivious,
+            failover: FailoverMode::Oracle,
+            ..ResilienceConfig::default()
+        };
+        let r = s.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+        let d = r.outcomes[0].delivered().expect("oracle delivers");
+        assert_eq!(d.attempts, 1, "the oracle never probes the dead link");
+        assert!(d.rerouted);
+        assert_eq!(r.stats.failed_opens, 0);
+        assert_eq!(r.stats.quarantines, 0);
+        assert_conserved(&r);
+    }
+
+    #[test]
+    fn scheduled_repair_reinstates_the_link() {
+        let (_, mut s) = sim128();
+        // Dead from 0 to 500 us; the second worm (injected at 1 ms,
+        // after the quarantine window lapses) re-probes and succeeds.
+        let plan = FaultPlan::clean(7)
+            .kill_link(Time::ZERO, LinkRef::NodeLink { node: 0, plane: 0 })
+            .repair_link(
+                Time::ZERO + Duration::from_us(500),
+                LinkRef::NodeLink { node: 0, plane: 0 },
+            );
+        let worms = vec![
+            worm(0, 127, 1024, Time::ZERO + Duration::from_us(1)),
+            worm(0, 127, 1024, Time::ZERO + Duration::from_ms(1)),
+        ];
+        let cfg = ResilienceConfig::default();
+        let r = s.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+        let a = r.outcomes[0].delivered().expect("worm 0 fails over");
+        assert!(a.failed_over, "link dead: worm 0 must use plane 1");
+        let b = r.outcomes[1].delivered().expect("worm 1 delivers");
+        assert!(
+            !b.failed_over,
+            "after repair + lapse, the re-probe succeeds on plane 0"
+        );
+        assert_eq!(r.stats.repairs, 1);
+        assert_eq!(r.stats.reinstatements, 1, "the re-probe clears the entry");
+        assert_conserved(&r);
+    }
+
+    #[test]
+    fn watchdog_recovers_a_stalled_worm() {
+        let (_, mut s) = sim128();
+        // Worm 0 streams ~2 ms holding node 8's downlink; worm 1 wants
+        // the same port and trips the (deliberately tight) stall
+        // threshold repeatedly until the holder closes.
+        let worms = vec![worm(0, 8, 120_000, Time::ZERO), worm(1, 8, 64, Time::ZERO)];
+        let cfg = ResilienceConfig {
+            watchdog: WatchdogConfig {
+                scan_period: Duration::from_us(100),
+                stall_threshold: Duration::from_us(300),
+            },
+            ..ResilienceConfig::default()
+        };
+        let r = s
+            .run_resilient(&worms, &FaultPlan::clean(7), &cfg)
+            .expect("clean plan");
+        let b = r.outcomes[1]
+            .delivered()
+            .expect("kill-and-retry loses nothing");
+        assert!(r.stats.recoveries >= 1, "the watchdog must fire");
+        assert!(b.attempts > 1, "each kill spends an attempt");
+        assert_eq!(r.stats.delivered, 2);
+        assert_eq!(r.stats.orphan_reclaims, 0, "no orphans without faults");
+        assert_conserved(&r);
+    }
+
+    #[test]
+    fn transient_corruption_is_retransmitted() {
+        let (_, mut s) = sim128();
+        let plan = FaultPlan::clean(11)
+            .with_transient_rate(0.5)
+            .expect("rate ok");
+        let worms: Vec<Worm> = (0..8).map(|i| worm(i, 64 + i, 1024, Time::ZERO)).collect();
+        let cfg = ResilienceConfig::default();
+        let r = s.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+        assert!(r.stats.corrupted > 0, "a 50% rate must corrupt something");
+        assert_eq!(r.stats.delivered, 8, "CRC rejections retransmit, not drop");
+        assert_eq!(
+            r.stats.transmissions,
+            r.stats.delivered + r.stats.corrupted,
+            "every transmission either delivers or was CRC-rejected"
+        );
+        assert_conserved(&r);
+    }
+
+    #[test]
+    fn clean_resilient_run_matches_the_plain_simulation() {
+        let t = Topology::system256();
+        let mut s = RouteSim::new(&t);
+        let worms = permutation_worms(16, 8, 1024, 0, Time::ZERO);
+        let plain = s.run(&worms, RoutePolicy::Adaptive);
+        let cfg = ResilienceConfig::default();
+        let r = s
+            .run_resilient(&worms, &FaultPlan::clean(7), &cfg)
+            .expect("clean plan");
+        // Same physics, same adaptive decisions: the fault machinery
+        // must be invisible on a clean run…
+        for (w, o) in r.outcomes.iter().enumerate() {
+            let d = o.delivered().expect("clean runs deliver everything");
+            assert_eq!(d.finished, plain.completions[w], "worm {w}");
+            assert_eq!(d.attempts, 1);
+        }
+        assert_eq!(r.detours, plain.detours);
+        assert_eq!(r.conflicts, plain.conflicts);
+        assert_eq!(r.peak_inflight, plain.peak_inflight);
+        // …and the watchdog stays silent.
+        assert!(r.stats.scans > 0, "scans ran");
+        assert_eq!(r.stats.recoveries, 0);
+        assert_eq!(r.stats.orphan_reclaims, 0);
+        assert_eq!(r.stats.failed_opens, 0);
+        assert_conserved(&r);
+    }
+
+    #[test]
+    fn reused_resilient_runs_match_fresh() {
+        let t = Topology::system256();
+        let mut reused = RouteSim::new(&t);
+        let plan = FaultPlan::clean(13)
+            .with_transient_rate(0.02)
+            .expect("rate ok")
+            .random_link_downs(&t, 6, Duration::from_us(200))
+            .repair_all_after(Duration::from_us(300));
+        let mut rng = pm_sim::rng::SimRng::seed_from(99);
+        let worms: Vec<Worm> = (0..200)
+            .map(|_| {
+                let src = rng.gen_range(0, 128) as usize;
+                let mut dst = rng.gen_range(0, 128) as usize;
+                if dst == src {
+                    dst = (dst + 1) % 128;
+                }
+                worm(
+                    src,
+                    dst,
+                    512,
+                    Time::ZERO + Duration::from_ns(rng.gen_range(0, 400_000)),
+                )
+            })
+            .collect();
+        for failover in [FailoverMode::Oracle, FailoverMode::Detected] {
+            let cfg = ResilienceConfig {
+                failover,
+                ..ResilienceConfig::default()
+            };
+            let fresh = RouteSim::new(&t)
+                .run_resilient(&worms, &plan, &cfg)
+                .expect("plan valid");
+            let again = reused
+                .run_resilient(&worms, &plan, &cfg)
+                .expect("plan valid");
+            assert_eq!(fresh.outcomes, again.outcomes);
+            assert_eq!(fresh.stats, again.stats);
+            assert_conserved(&fresh);
+        }
+    }
+
+    #[test]
+    fn resilient_run_rejects_unknown_links() {
+        let (_, mut s) = sim128();
+        let bad = LinkRef::NodeLink {
+            node: 4096,
+            plane: 0,
+        };
+        let plan = FaultPlan::clean(1).kill_link(Time::ZERO, bad);
+        let err = s
+            .run_resilient(
+                &[worm(0, 1, 64, Time::ZERO)],
+                &plan,
+                &ResilienceConfig::default(),
+            )
+            .expect_err("out-of-range ref");
+        assert_eq!(err, FaultPlanError::UnknownLink(bad));
+    }
+
+    #[test]
+    fn retransmit_jitter_is_deterministic_and_bounded() {
+        let p = RetransmitPolicy::default();
+        for attempt in 1..=24 {
+            let gap = p.gap_after(42, attempt);
+            assert_eq!(gap, p.gap_after(42, attempt), "deterministic");
+            let backoff = (p.initial_backoff * (1u64 << (attempt - 1).min(20))).min(p.max_backoff);
+            assert!(gap >= Duration::from_ps(backoff.as_ps() / 2));
+            assert!(gap <= backoff);
+        }
+        // Different worms decorrelate.
+        let gaps: Vec<Duration> = (0..16).map(|salt| p.gap_after(salt, 4)).collect();
+        assert!(
+            gaps.iter().any(|&g| g != gaps[0]),
+            "jitter must spread retries across worms"
+        );
     }
 }

@@ -153,3 +153,52 @@ fn routesim_hot_path_keeps_1024_worms_feasible() {
          per-worm allocations?"
     );
 }
+
+/// The health-table lookup sits on the resilient route-selection path:
+/// every candidate enumeration for every attempt of every worm asks
+/// `is_quarantined`. The empty table (the overwhelmingly common case —
+/// healthy fabric) must stay in fast-path territory, and a table
+/// holding a realistic worst-case suspect set (16 entries, the fallout
+/// of a rolling-death campaign as seen by one source) must stay linear
+/// and tiny, nowhere near timer-wheel or hash-map territory.
+#[test]
+fn health_table_lookup_stays_cheap() {
+    use powermanna::net::health::{HealthConfig, HealthTable};
+
+    let cfg = HealthConfig::default();
+    let now = Time::ZERO;
+    let empty = HealthTable::new();
+    let mut full = HealthTable::new();
+    for i in 0..16u32 {
+        full.record_failure((i as usize, i), now, &cfg);
+    }
+    assert_eq!(full.len(), 16);
+
+    let mut r = Runner::new();
+    Runner::header("health-table lookup guard");
+
+    // Empty table: one len check, no iteration. Budget 100 ns/iter is
+    // ~50x a branch-plus-return on a 2020s core.
+    r.bench("lookup_empty", || {
+        black_box(empty.is_quarantined(black_box((3, 7)), black_box(now)))
+    });
+
+    // 16 suspects, probe misses: a full linear scan of the vector.
+    // Budget 1 us/iter keeps ~50x headroom while still catching an
+    // accidental allocation or a per-entry clock conversion.
+    r.bench("lookup_16_suspects", || {
+        black_box(full.is_quarantined(black_box((99, 0)), black_box(now)))
+    });
+
+    let samples = r.samples();
+    let empty_ns = samples[0].mean;
+    let full_ns = samples[1].mean;
+    assert!(
+        empty_ns < Duration::from_nanos(100),
+        "empty-table lookup costs {empty_ns:?}/iter — the fast path lost its early-out?"
+    );
+    assert!(
+        full_ns < Duration::from_micros(1),
+        "16-suspect lookup costs {full_ns:?}/iter — the scan stopped being a flat vector walk?"
+    );
+}

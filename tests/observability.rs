@@ -306,3 +306,80 @@ fn traffic_conservation_reconciles_with_registry_per_tenant() {
     assert_eq!(lat.quantile(0.99), report.p99_latency_ns());
     assert_eq!(lat.quantile(0.999), report.p999_latency_ns());
 }
+
+/// A resilient run's published ledger is a bit-exact recount of its
+/// per-worm outcomes. Two scenarios:
+///
+/// * transients only — nothing is dropped, so every attempt and CRC
+///   rejection lives in a [`WormOutcome::Delivered`] and the registry
+///   totals must equal independent sums over the outcomes;
+/// * deaths plus repairs — conservation (`offered == delivered +
+///   dropped`, and in bytes) holds over the registry's own numbers,
+///   and the detection/recovery trees are populated.
+///
+/// [`WormOutcome::Delivered`]: powermanna::net::routesim::WormOutcome
+#[test]
+fn resilient_ledger_reconciles_with_outcomes() {
+    use powermanna::net::routesim::{permutation_worms, ResilienceConfig, RouteSim};
+    use powermanna::sim::time::Duration;
+
+    let t = Topology::system256();
+    let mut sim = RouteSim::new(&t);
+    let worms = permutation_worms(16, 8, 2048, 0, Time::ZERO);
+    let cfg = ResilienceConfig::default();
+
+    // Scenario 1: transients only. No worm is ever dropped, so the
+    // outcome list carries every attempt and every CRC rejection.
+    let plan = FaultPlan::clean(0x0B5E).with_transient_rate(0.05).unwrap();
+    let r = sim.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+    let mut reg = MetricRegistry::new();
+    r.stats.publish(&mut reg, "res");
+    let c = |path: &str| reg.counter_value(path).unwrap_or(0);
+
+    assert_eq!(c("res/dropped"), 0, "transients alone must not drop");
+    let delivered: Vec<_> = r.outcomes.iter().filter_map(|o| o.delivered()).collect();
+    assert_eq!(c("res/offered"), worms.len() as u64);
+    assert_eq!(c("res/delivered"), delivered.len() as u64);
+    let bytes: u64 = delivered.iter().map(|d| d.bytes).sum();
+    assert_eq!(c("res/delivered_bytes"), bytes);
+    assert_eq!(
+        c("res/offered_bytes"),
+        worms.iter().map(|w| u64::from(w.payload)).sum::<u64>()
+    );
+    let attempts: u64 = delivered.iter().map(|d| u64::from(d.attempts)).sum();
+    assert_eq!(c("res/transmissions"), attempts);
+    let crc: u64 = delivered.iter().map(|d| u64::from(d.crc_failures)).sum();
+    assert_eq!(c("res/corrupted"), crc);
+    assert!(crc > 0, "a 5% transient rate must corrupt something");
+
+    // Scenario 2: link deaths with scheduled repairs. Dropped worms
+    // carry only their attempt count, so reconcile conservation over
+    // the ledger itself and check the health/watchdog trees exist.
+    let plan = FaultPlan::clean(0x0B5F)
+        .random_link_downs(&t, 6, Duration::from_us(300))
+        .repair_all_after(Duration::from_us(500));
+    let r = sim.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+    let mut reg = MetricRegistry::new();
+    r.stats.publish(&mut reg, "res");
+    let c = |path: &str| reg.counter_value(path).unwrap_or(0);
+
+    assert_eq!(c("res/offered"), c("res/delivered") + c("res/dropped"));
+    assert_eq!(
+        c("res/offered_bytes"),
+        c("res/delivered_bytes") + c("res/dropped_bytes")
+    );
+    let delivered_bytes: u64 = r
+        .outcomes
+        .iter()
+        .filter_map(|o| o.delivered())
+        .map(|d| d.bytes)
+        .sum();
+    assert_eq!(c("res/delivered_bytes"), delivered_bytes);
+    assert_eq!(c("res/link_downs"), 6);
+    assert_eq!(c("res/repairs"), 6);
+    assert!(
+        c("res/health/failed_opens") + c("res/severed") > 0,
+        "six deaths under load must hit something"
+    );
+    assert!(c("res/watchdog/scans") > 0);
+}

@@ -586,10 +586,11 @@ fn metrics_publication_never_perturbs_outcomes() {
 fn metrics_collection_leaves_experiments_untouched() {
     use powermanna::machine::experiments::find;
     use powermanna::machine::observability::collect_metrics;
+    use powermanna::sim::metrics::MetricRegistry;
 
     let exp = find("blocking").expect("X5 exists");
-    let baseline = (exp.run)(true).to_csv();
+    let baseline = (exp.run)(true, &mut MetricRegistry::new()).to_csv();
     let _ = collect_metrics(true);
-    let after = (exp.run)(true).to_csv();
+    let after = (exp.run)(true, &mut MetricRegistry::new()).to_csv();
     assert_eq!(baseline, after, "collection pass perturbed an experiment");
 }

@@ -952,7 +952,9 @@ fn mesh_survives_any_single_link_death() {
 #[test]
 fn x8_quick_csv_is_reproducible() {
     use powermanna::machine::experiments::find;
-    let csv = || (find("faults").expect("registered").run)(true).to_csv();
+    use powermanna::sim::metrics::MetricRegistry;
+    let csv =
+        || (find("faults").expect("registered").run)(true, &mut MetricRegistry::new()).to_csv();
     assert_eq!(csv(), csv());
 }
 
@@ -1248,4 +1250,244 @@ fn corrupted_and_late_worms_drop_exactly_once() {
     }
     // With an effectively infinite budget the two filters coincide.
     assert!((prev - clean).abs() < 1e-9);
+}
+
+/// A single link death mid-batch never loses or duplicates a payload,
+/// and per-source deliveries stay in injection order: the resilient
+/// loop retransmits severed worms over the surviving plane, and the
+/// source's stop-and-wait serialisation survives the failover.
+#[test]
+fn resilient_death_never_loses_or_reorders() {
+    use powermanna::net::fault::{FaultPlan, LinkRef};
+    use powermanna::net::routesim::{ResilienceConfig, RouteSim, Worm};
+
+    let t = Topology::system256();
+    let nodes = t.nodes() as u64;
+    let mut sim = RouteSim::new(&t);
+    let mut rng = cases(40);
+    for case in 0..8u64 {
+        let src = rng.gen_range(0, nodes) as usize;
+        let dst = (src + rng.gen_range(1, nodes) as usize) % nodes as usize;
+        let worms: Vec<Worm> = (0..8u64)
+            .map(|i| Worm {
+                src,
+                dst,
+                plane: 0,
+                payload: 1024 + 512 * (i as u32 % 4),
+                inject_at: Time::ZERO + Duration::from_us(5 * i),
+            })
+            .collect();
+        // Kill one of the source's two cables at a random instant while
+        // the batch is in flight; the other plane survives, so every
+        // payload must still arrive, exactly once, in order.
+        let plane = rng.gen_range(0, 2) as u32;
+        let at = Time::ZERO + Duration::from_us(rng.gen_range(0, 200));
+        let plan =
+            FaultPlan::clean(0x0DD + case).kill_link(at, LinkRef::NodeLink { node: src, plane });
+        let r = sim
+            .run_resilient(&worms, &plan, &ResilienceConfig::default())
+            .expect("plan names a live link");
+        assert_eq!(r.stats.dropped, 0, "case {case}: payload lost");
+        assert_eq!(r.stats.delivered, worms.len() as u64, "case {case}");
+        assert!((r.availability() - 1.0).abs() < 1e-12, "case {case}");
+        let mut last = Time::ZERO;
+        for (i, o) in r.outcomes.iter().enumerate() {
+            let d = o.delivered().expect("nothing was dropped");
+            assert!(
+                d.finished > last,
+                "case {case}: worm {i} delivered out of order"
+            );
+            last = d.finished;
+        }
+    }
+}
+
+/// On a fault-free batch the watchdog scans but never fires, the health
+/// tables stay empty, and every worm delivers on its first attempt —
+/// the self-healing layer is pure overhead-free observation when
+/// nothing is wrong.
+#[test]
+fn resilient_watchdog_is_silent_on_clean_runs() {
+    use powermanna::net::fault::FaultPlan;
+    use powermanna::net::routesim::{
+        permutation_worms, ResilienceConfig, RouteSim, WatchdogConfig,
+    };
+
+    let t = Topology::system256();
+    let mut sim = RouteSim::new(&t);
+    let worms = permutation_worms(16, 8, 4096, 0, Time::ZERO);
+    // A tight scan period guarantees the watchdog actually ran many
+    // times before the batch drained.
+    let cfg = ResilienceConfig {
+        watchdog: WatchdogConfig {
+            scan_period: Duration::from_us(50),
+            ..WatchdogConfig::default()
+        },
+        ..ResilienceConfig::default()
+    };
+    let r = sim
+        .run_resilient(&worms, &FaultPlan::clean(0x51), &cfg)
+        .expect("clean plan is always valid");
+    assert!(r.stats.scans > 0, "the watchdog never scanned");
+    assert_eq!(r.stats.recoveries, 0);
+    assert_eq!(r.stats.orphan_reclaims, 0);
+    assert_eq!(r.stats.failed_opens, 0);
+    assert_eq!(r.stats.severed, 0);
+    assert_eq!(r.stats.quarantines, 0);
+    assert_eq!(r.stats.corrupted, 0);
+    assert_eq!(r.stats.dropped, 0);
+    assert_eq!(r.stats.transmissions, r.stats.offered);
+    for (i, o) in r.outcomes.iter().enumerate() {
+        let d = o.delivered().expect("clean run delivers everything");
+        assert_eq!(d.attempts, 1, "worm {i} retried on a clean run");
+    }
+    for src in 0..t.nodes() {
+        assert!(
+            sim.health_table(src).is_empty(),
+            "node {src} suspects a link on a clean run"
+        );
+    }
+}
+
+/// The health table converges on exactly the dead links and nothing
+/// else: with both of a destination's cables cut, the source learns
+/// precisely those two link keys from failed opens alone, while traffic
+/// to healthy destinations adds no suspects.
+#[test]
+fn resilient_health_table_converges_on_the_dead_links() {
+    use powermanna::net::fault::{FaultPlan, LinkRef};
+    use powermanna::net::routesim::{ResilienceConfig, RouteSim, Worm, WormOutcome};
+
+    let t = Topology::system256();
+    let mut sim = RouteSim::new(&t);
+    let dead_dst = 127;
+    // Every equivalent route to a destination ends on the same node
+    // link, so candidate 0's last key IS the plane's dead link key.
+    let dead_key = |plane: u32| {
+        let route = &t.equivalent_routes(0, dead_dst, plane, &Default::default())[0];
+        *t.route_link_keys(route).last().expect("routes have hops")
+    };
+    let mut expected = [dead_key(0), dead_key(1)];
+    expected.sort_unstable();
+
+    let plan = FaultPlan::clean(3)
+        .kill_link(
+            Time::ZERO,
+            LinkRef::NodeLink {
+                node: dead_dst,
+                plane: 0,
+            },
+        )
+        .kill_link(
+            Time::ZERO,
+            LinkRef::NodeLink {
+                node: dead_dst,
+                plane: 1,
+            },
+        );
+    let worms = vec![
+        Worm {
+            src: 0,
+            dst: dead_dst,
+            plane: 0,
+            payload: 1024,
+            inject_at: Time::ZERO,
+        },
+        Worm {
+            src: 0,
+            dst: 126,
+            plane: 0,
+            payload: 1024,
+            inject_at: Time::ZERO,
+        },
+    ];
+    let cfg = ResilienceConfig::default();
+    let r = sim.run_resilient(&worms, &plan, &cfg).expect("plan valid");
+    let max_attempts = cfg.retry.max_attempts;
+    assert_eq!(
+        r.outcomes[0],
+        WormOutcome::Dropped {
+            attempts: max_attempts
+        },
+        "an unreachable destination exhausts every attempt"
+    );
+    assert!(r.outcomes[1].delivered().is_some(), "healthy dst delivers");
+    let mut suspects: Vec<_> = sim.health_table(0).suspects().collect();
+    suspects.sort_unstable();
+    assert_eq!(
+        suspects, expected,
+        "the source must suspect exactly the two dead cables"
+    );
+}
+
+/// Repair plus quarantine lapse fully restores clean behaviour: after
+/// the dead uplink comes back and its quarantine expires, a later worm
+/// re-probes it, reinstates it, and its delivery is bit-identical to
+/// the same worm under a never-faulted plan.
+#[test]
+fn resilient_repair_restores_clean_behaviour() {
+    use powermanna::net::fault::{FaultPlan, LinkRef};
+    use powermanna::net::routesim::{ResilienceConfig, RoutePolicy, RouteSim, Worm};
+
+    let t = Topology::system256();
+    let mut sim = RouteSim::new(&t);
+    // Candidate 0's uplink into the middle stage for the 0 -> 127 pair.
+    let route = &t.equivalent_routes(0, 127, 0, &Default::default())[0];
+    let (xbar, port) = t.route_link_keys(route)[1];
+    let faulted = FaultPlan::clean(9)
+        .kill_link(Time::ZERO, LinkRef::XbarPort { xbar, port })
+        .repair_link(
+            Time::ZERO + Duration::from_us(100),
+            LinkRef::XbarPort { xbar, port },
+        );
+    // Oblivious keeps candidate choice independent of accumulated
+    // conflict counts, so the faulted and clean runs pick identical
+    // paths once the health table is clean again.
+    let cfg = ResilienceConfig {
+        policy: RoutePolicy::Oblivious,
+        ..ResilienceConfig::default()
+    };
+    let worms = vec![
+        // Wave 1 probes the dead uplink, learns it, reroutes.
+        Worm {
+            src: 0,
+            dst: 127,
+            plane: 0,
+            payload: 1024,
+            inject_at: Time::ZERO + Duration::from_us(1),
+        },
+        // Wave 2 arrives after the repair AND the quarantine lapse.
+        Worm {
+            src: 0,
+            dst: 127,
+            plane: 0,
+            payload: 1024,
+            inject_at: Time::ZERO + Duration::from_us(1500),
+        },
+    ];
+    let r_faulted = sim
+        .run_resilient(&worms, &faulted, &cfg)
+        .expect("plan valid");
+    let r_clean = sim
+        .run_resilient(&worms, &FaultPlan::clean(9), &cfg)
+        .expect("clean plan valid");
+
+    let wave1 = r_faulted.outcomes[0].delivered().expect("wave 1 reroutes");
+    assert!(wave1.rerouted, "wave 1 must have dodged the dead uplink");
+    let wave2_faulted = r_faulted.outcomes[1].delivered().expect("wave 2 delivers");
+    assert_eq!(wave2_faulted.attempts, 1, "the re-probe must succeed");
+    assert!(!wave2_faulted.rerouted, "wave 2 is back on candidate 0");
+    assert_eq!(r_faulted.stats.repairs, 1);
+    assert_eq!(
+        r_faulted.stats.reinstatements, 1,
+        "wave 2's delivery must clear the suspect entry"
+    );
+    assert_eq!(
+        r_faulted.outcomes[1], r_clean.outcomes[1],
+        "post-repair delivery must be bit-identical to the clean run"
+    );
+    assert!(
+        sim.health_table(0).is_empty(),
+        "no suspects may outlive the clean rerun"
+    );
 }
